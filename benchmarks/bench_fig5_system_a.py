@@ -1,0 +1,90 @@
+"""Figure 5 — latency overhead and relative throughput on system A (§5).
+
+Same experiments as figs. 3/4, but on the virtualized Azure HB120 profile
+(200 Gbit/s IB, noisy syscalls, CoRD without inline support).
+
+Paper claims checked:
+
+- per-message overhead is larger than on system L and noisier;
+- the overhead is *bimodal*: messages <= 1 KiB pay more (CoRD lacks inline
+  there), larger messages pay less;
+- bandwidth reduction becomes negligible from a certain message size.
+
+Note on the paper's "system L shows a higher throughput reduction than
+system A" sentence: taken literally it contradicts the arithmetic of a
+fixed per-message CPU cost on a faster wire (which binds *longer*).  We
+reproduce the physical behaviour and read the sentence as comparing
+opposite-direction anchors (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepTable, check_between, format_table
+from repro.bench_support import emit, report_checks, scaled
+from repro.perftest.runner import PerftestConfig, run_bw, run_lat
+from repro.units import pretty_size
+
+LAT_SIZES = [64, 256, 512, 1024, 2048, 4096, 16384]
+BW_SIZES = [256, 1024, 4096, 16384, 65536, 262144, 1 << 20]
+
+
+def _lat_sweep():
+    table = SweepTable(
+        "Fig 5a: CoRD latency overhead on system A (us, CD->CD vs BP->BP)", "size"
+    )
+    over = table.new_series("RC-send overhead")
+    for size in LAT_SIZES:
+        bp = run_lat(PerftestConfig(system="A", iters=scaled(200), warmup=25), size)
+        cd = run_lat(PerftestConfig(system="A", client="cord", server="cord",
+                                    iters=scaled(200), warmup=25), size)
+        over.add(pretty_size(size), cd.avg_us - bp.avg_us)
+    return table
+
+
+def _bw_sweep():
+    table = SweepTable("Fig 5b: CoRD relative throughput on system A", "size")
+    for transport, op in (("RC", "send"), ("RC", "write"), ("UD", "send")):
+        rel = table.new_series(f"{transport}-{op}")
+        for size in BW_SIZES:
+            if transport == "UD" and size > 4096:
+                continue
+            bp_cfg = PerftestConfig(system="A", transport=transport, op=op,
+                                    iters=scaled(1200), warmup=300, window=64)
+            bp = run_bw(bp_cfg, size)
+            cd = run_bw(bp_cfg.with_(client="cord", server="cord"), size)
+            rel.add(pretty_size(size), cd.gbit_per_s / bp.gbit_per_s)
+    return table
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_latency_overhead(benchmark):
+    table = benchmark.pedantic(_lat_sweep, rounds=1, iterations=1)
+    header, rows = table.rows()
+    text = format_table(header, rows, table.title)
+    over = table.get("RC-send overhead")
+    small_mode = float(np.mean([over.y_at(pretty_size(s)) for s in (64, 256, 512, 1024)]))
+    large_mode = float(np.mean([over.y_at(pretty_size(s)) for s in (2048, 4096, 16384)]))
+    checks = [
+        check_between("small-message mode (<=1 KiB) larger than large mode",
+                      small_mode / large_mode, 1.15, 3.0),
+        check_between("large-mode overhead exceeds system L's (~1.1 us)",
+                      large_mode, 1.2, 4.0),
+        check_between("small-mode overhead (us)", small_mode, 1.6, 5.0),
+    ]
+    emit("fig5a_latency_overhead", text + "\n" + report_checks("fig5a", checks))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_throughput(benchmark):
+    table = benchmark.pedantic(_bw_sweep, rounds=1, iterations=1)
+    header, rows = table.rows()
+    text = format_table(header, rows, table.title)
+    checks = []
+    for name in ("RC-send", "RC-write"):
+        s = table.get(name)
+        checks.append(check_between(
+            f"{name}: small messages degraded", s.y_at("1 KiB"), 0.1, 0.8))
+        checks.append(check_between(
+            f"{name}: negligible from some size on", s.y_at("1 MiB"), 0.93, 1.05))
+    emit("fig5b_throughput", text + "\n" + report_checks("fig5b", checks))

@@ -1,0 +1,76 @@
+"""Figure 6 — NPB relative runtimes on system A (paper §5).
+
+The full suite (IS, EP, CG, MG, FT, LU, BT, SP) over three transports:
+kernel-bypass RDMA (the baseline), CoRD, and IPoIB.  Shared-memory
+communication is not available in the MPI layer, matching the paper's
+setup that forces all traffic through the NIC.
+
+Paper claims checked:
+
+- CoRD has near-zero overhead for *every* benchmark;
+- IPoIB is up to ~2x slower, worst for IS and SP (simultaneously data- and
+  message-intensive);
+- EP (almost no communication) ties across transports;
+- EP and CG may see a marginal CoRD benefit (DVFS/syscall interaction).
+
+Scale knobs: ranks and iteration fractions are reduced by default so the
+full grid simulates in minutes; relative runtimes are per-iteration and
+insensitive to the reduction (set REPRO_BENCH_SCALE=1 and RANKS below for
+a fuller run).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import SweepTable, check_between, format_table
+from repro.bench_support import bench_scale, emit, report_checks
+from repro.npb import run_suite
+from repro.npb.runner import DEFAULT_SUITE
+
+RANKS = int(os.environ.get("REPRO_NPB_RANKS", "16"))
+
+
+def _sweep():
+    iter_scale = max(0.02, 0.08 * bench_scale())
+    return run_suite(names=DEFAULT_SUITE, klass="B", ranks=RANKS,
+                     iter_scale=iter_scale, system="A")
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_npb_relative_runtime(benchmark):
+    grid = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = SweepTable(
+        f"Fig 6: NPB class B relative runtime on system A ({RANKS} ranks)",
+        "benchmark",
+    )
+    s_cord = table.new_series("CoRD/RDMA")
+    s_ipoib = table.new_series("IPoIB/RDMA")
+    s_base = table.new_series("RDMA ms/iter")
+    for name, row in grid.items():
+        base = row["bypass"].elapsed_ns
+        s_cord.add(name, row["cord"].elapsed_ns / base)
+        s_ipoib.add(name, row["ipoib"].elapsed_ns / base)
+        s_base.add(name, row["bypass"].per_iter_ns / 1e6)
+    header, rows = table.rows()
+    text = format_table(header, rows, table.title)
+
+    checks = []
+    # The quantitative bounds are calibrated at the default 16-rank scale;
+    # larger worlds strong-scale class B and legitimately raise the IPoIB
+    # penalty (fixed problem bytes over shrinking compute), so we report
+    # but do not assert them there.
+    strict = RANKS <= 24
+    for name in DEFAULT_SUITE:
+        checks.append(check_between(
+            f"{name}: CoRD near-zero overhead", s_cord.y_at(name), 0.97, 1.08))
+    checks.append(check_between("IS: IPoIB ~2x slower", s_ipoib.y_at("IS"), 1.5, 2.6))
+    checks.append(check_between("SP: IPoIB among the slowest", s_ipoib.y_at("SP"), 1.3, 2.6))
+    checks.append(check_between("EP: transports tie", s_ipoib.y_at("EP"), 0.97, 1.05))
+    worst_two = sorted(DEFAULT_SUITE, key=lambda n: -s_ipoib.y_at(n))[:2]
+    checks.append(check_between(
+        "IS and SP are the worst IPoIB cases",
+        float(set(worst_two) == {"IS", "SP"}), 1.0, 1.0))
+    ipoib_max = max(s_ipoib.y_at(n) for n in DEFAULT_SUITE)
+    checks.append(check_between("IPoIB worst case 'up to 2x'", ipoib_max, 1.6, 2.7))
+    emit("fig6_npb", text + "\n" + report_checks("fig6", checks, strict=strict))

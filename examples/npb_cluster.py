@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Run a mini NPB suite over the three dataplanes — fig. 6 in miniature.
+
+Spins up the two-node Azure HB120 testbed, runs IS / CG / EP with 8 MPI
+ranks over kernel-bypass RDMA, CoRD and IPoIB, and prints the relative
+runtimes.  This is the paper's headline end-to-end result: CoRD costs
+almost nothing, the socket path costs up to 2x.
+
+Run:  python examples/npb_cluster.py
+"""
+
+from repro.npb import NpbConfig, run_npb
+
+BENCHES = ("IS", "CG", "EP")
+TRANSPORTS = ("bypass", "cord", "ipoib")
+
+
+def main() -> None:
+    print("NPB class A, 8 ranks, 2 simulated HB120 nodes (system A)\n")
+    print(f"{'bench':>6} {'RDMA ms':>10} {'CoRD':>8} {'IPoIB':>8}")
+    for name in BENCHES:
+        cfg = NpbConfig(name=name, klass="A", ranks=8, iter_scale=0.5)
+        results = {t: run_npb(cfg, transport=t, system="A") for t in TRANSPORTS}
+        base = results["bypass"].elapsed_ns
+        print(f"{name:>6} {base / 1e6:10.2f} "
+              f"{results['cord'].elapsed_ns / base:7.3f}x "
+              f"{results['ipoib'].elapsed_ns / base:7.3f}x")
+    print("\nCoRD keeps RDMA speed; IPoIB pays the full socket-stack tax.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CoRD payoff #2: per-flow observability without touching the application.
+
+Three workloads with different traffic shapes run over CoRD with the
+FlowStats policy installed, plus a security ACL that blocks RDMA reads
+from one tenant.  The OS-side report shows per-flow operation mixes, byte
+counts and message-size histograms — eBPF-style visibility that kernel
+bypass makes impossible.
+
+Run:  python examples/observability.py
+"""
+
+from repro.cluster import build_pair
+from repro.core.endpoint import connect, make_endpoint
+from repro.core.policies import AclRule, FlowStats, SecurityAcl
+from repro.core.policy import PolicyChain
+from repro.errors import PolicyViolation
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+from repro.units import pretty_size
+from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+
+def main() -> None:
+    sim = Simulator(seed=9)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+    stats = FlowStats()
+    acl = SecurityAcl([AclRule(action="deny", tenant="analytics",
+                               opcode=Opcode.RDMA_READ)])
+    chain = PolicyChain([stats, acl])
+    denied = []
+
+    def workload(name, sizes, opcode):
+        ep = yield from make_endpoint(host_a, "cord", policies=chain, tenant=name)
+        peer = yield from make_endpoint(host_b, "bypass")
+        yield from connect(ep, peer)
+        if opcode is Opcode.SEND:
+            for i, size in enumerate(sizes):
+                yield from peer.post_recv(RecvWR(wr_id=i, addr=peer.buf.addr,
+                                                 length=peer.buf.length,
+                                                 lkey=peer.mr.lkey))
+        for i, size in enumerate(sizes):
+            wr = SendWR(wr_id=i, opcode=opcode, addr=ep.buf.addr, length=size,
+                        lkey=ep.mr.lkey, remote_addr=peer.buf.addr,
+                        rkey=peer.mr.rkey)
+            try:
+                yield from ep.post_send(wr)
+                cqes = yield from ep.wait_send()
+                assert cqes[0].ok
+            except PolicyViolation as exc:
+                denied.append((name, str(exc)))
+
+    sim.process(workload("kv-store", [64] * 200, Opcode.SEND))
+    sim.process(workload("backup", [1 << 20] * 8, Opcode.RDMA_WRITE))
+    sim.process(workload("analytics", [4096] * 20, Opcode.RDMA_READ))
+    sim.run()
+
+    print("OS-side flow report (FlowStats CoRD policy):\n")
+    for flow in stats.report():
+        sends = flow["ops"].get("post_send", 0)
+        hist = ", ".join(
+            f"{pretty_size(1 << b)}:{n}" for b, n in sorted(flow["size_hist"].items())
+        )
+        print(f"  tenant={flow['tenant']:<10} qpn={flow['qpn']:<6}"
+              f" sends={sends:<5} bytes={flow['bytes_sent']:>10}"
+              f" rate={flow['msg_rate_per_s']:>12.0f}/s")
+        if hist:
+            print(f"    size histogram: {hist}")
+    print(f"\nSecurity ACL denied {len(denied)} operation(s):")
+    for tenant, reason in denied[:3]:
+        print(f"  {tenant}: {reason}")
+    print("\nNo application changed a line of code for any of this.")
+
+
+if __name__ == "__main__":
+    main()

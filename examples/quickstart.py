@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: an RDMA ping-pong over bypass and over CoRD.
+
+Builds the paper's two-node testbed (system L), connects a pair of RC
+endpoints, bounces a message back and forth, and prints what the CoRD
+detour through the kernel costs — the core trade-off of the paper in
+thirty lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import build_pair
+from repro.core.endpoint import make_rc_pair
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+
+def ping_pong(kind: str, rounds: int = 100, size: int = 4096) -> float:
+    """Average one-way latency (us) with both sides on dataplane ``kind``."""
+    sim = Simulator(seed=1)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+    def main():
+        client, server = yield from make_rc_pair(host_a, host_b, kind, kind)
+
+        def responder():
+            for _ in range(rounds):
+                yield from server.post_recv(RecvWR(
+                    wr_id=0, addr=server.buf.addr, length=server.buf.length,
+                    lkey=server.mr.lkey))
+                cqes = yield from server.wait_recv()
+                assert cqes[0].ok
+                yield from server.post_send(SendWR(
+                    wr_id=0, opcode=Opcode.SEND, addr=server.buf.addr,
+                    length=size, lkey=server.mr.lkey))
+
+        sim.process(responder(), name="server")
+        start = sim.now
+        for _ in range(rounds):
+            yield from client.post_recv(RecvWR(
+                wr_id=0, addr=client.buf.addr, length=client.buf.length,
+                lkey=client.mr.lkey))
+            yield from client.post_send(SendWR(
+                wr_id=0, opcode=Opcode.SEND, addr=client.buf.addr,
+                length=size, lkey=client.mr.lkey))
+            cqes = yield from client.wait_recv()
+            assert cqes[0].ok
+        return (sim.now - start) / rounds / 2.0  # one-way ns
+
+    return sim.run(sim.process(main())) / 1000.0
+
+
+def main() -> None:
+    print(f"RC send ping-pong, 4 KiB, system L ({SYSTEM_L.nic.link_bw * 8:.0f} Gbit/s)")
+    lat_bp = ping_pong("bypass")
+    lat_cd = ping_pong("cord")
+    print(f"  kernel bypass : {lat_bp:6.2f} us one-way")
+    print(f"  CoRD          : {lat_cd:6.2f} us one-way")
+    print(f"  CoRD overhead : {lat_cd - lat_bp:6.2f} us "
+          f"(+{(lat_cd / lat_bp - 1) * 100:.0f}%) — the price of giving the "
+          f"OS back its dataplane")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The runtime image has setuptools but no `wheel`, so PEP-660 editable installs
+fail; this shim lets `pip install -e . --no-use-pep517 --no-build-isolation`
+take the legacy `setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""CoRD: Converged RDMA Dataplane — full-system simulation reproduction.
+
+Top-level convenience re-exports; see the subpackages for the real API:
+
+- :mod:`repro.sim` — discrete-event engine
+- :mod:`repro.hw` — hardware models and testbed profiles
+- :mod:`repro.verbs` — ibverbs-style RDMA stack
+- :mod:`repro.kernel` — OS model (interrupts, sockets, IPoIB)
+- :mod:`repro.core` — the paper's contribution: bypass vs CoRD dataplanes
+  and the CoRD policy framework
+- :mod:`repro.cluster` — hosts and fabric
+- :mod:`repro.perftest` — microbenchmarks (figs. 1/3/4/5)
+- :mod:`repro.mpi` / :mod:`repro.npb` — MPI and NAS benchmarks (fig. 6)
+- :mod:`repro.storage` — the paper's §6 outlook applied to NVMe queues
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator  # noqa: F401  (canonical entry point)

@@ -1,0 +1,19 @@
+"""Result series, ASCII tables and paper-comparison helpers."""
+
+from repro.analysis.series import Series, SweepTable
+from repro.analysis.tables import format_table, print_table
+from repro.analysis.compare import CheckResult, check_ratio, check_between
+from repro.analysis.timeline import format_timeline, message_timeline, stage_latencies
+
+__all__ = [
+    "Series",
+    "SweepTable",
+    "format_table",
+    "print_table",
+    "CheckResult",
+    "check_ratio",
+    "check_between",
+    "message_timeline",
+    "format_timeline",
+    "stage_latencies",
+]

@@ -1,0 +1,41 @@
+"""Paper-versus-measured checks.
+
+The benchmarks print PASS/FAIL lines against the paper's qualitative
+claims (who wins, by roughly what factor, where crossovers fall).  These
+are *shape* checks, not absolute-number matches — the substrate is a
+simulator, not the authors' testbed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CheckResult:
+    label: str
+    passed: bool
+    detail: str
+
+    def line(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"  [{mark}] {self.label}: {self.detail}"
+
+
+def check_ratio(
+    label: str, measured: float, expected: float, tol: float = 0.5
+) -> CheckResult:
+    """Measured ratio within (1 +/- tol) x expected."""
+    lo, hi = expected * (1 - tol), expected * (1 + tol)
+    passed = lo <= measured <= hi
+    return CheckResult(
+        label, passed,
+        f"measured {measured:.3g}, paper ~{expected:.3g} (accept {lo:.3g}..{hi:.3g})",
+    )
+
+
+def check_between(
+    label: str, measured: float, lo: float, hi: float
+) -> CheckResult:
+    passed = lo <= measured <= hi
+    return CheckResult(label, passed, f"measured {measured:.3g}, expected {lo:.3g}..{hi:.3g}")

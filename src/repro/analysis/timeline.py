@@ -1,0 +1,72 @@
+"""Message-life timelines from NIC trace records.
+
+Enable tracing (``Simulator(trace=Trace(enabled=True))``), run traffic,
+then render where each nanosecond went::
+
+    t+0.000 us  host0  doorbell    qpn=65 wr=3 send 4096 B
+    t+0.105 us  host0  tx_start    wire 4144 B
+    t+0.583 us  host0  tx_done
+    t+0.833 us  host1  rx_arrive   send psn=3
+    t+1.393 us  host1  cqe         wr=1001 success
+
+This doubles as the debugging story for the simulator itself and as the
+"what would an OS see" demo for CoRD-style observability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def message_timeline(trace: Trace, psn: Optional[int] = None,
+                     qpn: Optional[int] = None) -> list[TraceRecord]:
+    """NIC records, optionally filtered to one message (psn) or QP."""
+    out = []
+    for rec in trace.select(category="nic"):
+        # Records without the filtered field (e.g. CQE writes carry no PSN)
+        # pass through; the filter narrows only what it can identify.
+        rec_psn = rec.get("psn", None)
+        if psn is not None and rec_psn is not None and rec_psn != psn:
+            continue
+        rec_qpn = rec.get("qpn", None)
+        if qpn is not None and rec_qpn is not None and rec_qpn != qpn:
+            continue
+        out.append(rec)
+    return out
+
+
+def format_timeline(records: list[TraceRecord], t0: Optional[float] = None) -> str:
+    """Human-readable rendering, timestamps relative to the first record."""
+    if not records:
+        return "(no trace records — is tracing enabled?)"
+    base = records[0].time if t0 is None else t0
+    lines = []
+    for rec in records:
+        fields = {k: v for k, v in rec.fields}
+        host = fields.pop("host", "?")
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+        lines.append(
+            f"t+{(rec.time - base) / 1000:8.3f} us  host{host}  "
+            f"{rec.event:<10} {detail}"
+        )
+    return "\n".join(lines)
+
+
+def stage_latencies(records: list[TraceRecord]) -> dict[str, float]:
+    """Per-stage deltas for a single message's records (ns).
+
+    Returns spans between consecutive milestones, keyed
+    ``"<from>-><to>"`` — e.g. ``doorbell->tx_start`` is NIC scheduling +
+    fetch, ``tx_start->tx_done`` is wire serialization.
+    """
+    out: dict[str, float] = {}
+    for prev, cur in zip(records, records[1:]):
+        key = f"{prev.event}->{cur.event}"
+        n = 2
+        while key in out:  # disambiguate repeats (e.g. data CQE vs ack CQE)
+            key = f"{prev.event}->{cur.event}#{n}"
+            n += 1
+        out[key] = cur.time - prev.time
+    return out

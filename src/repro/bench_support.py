@@ -1,0 +1,54 @@
+"""Shared plumbing for the figure benchmarks in ``benchmarks/``.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+simulation sweep, prints the series as an ASCII table (the same rows the
+paper plots), writes the table under ``results/``, and evaluates the
+paper's qualitative claims as PASS/FAIL shape checks.
+
+``REPRO_BENCH_SCALE`` (float, default 1.0) scales iteration counts for
+quick smoke runs (e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.compare import CheckResult
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def bench_scale() -> float:
+    """Global iteration-count multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    return max(minimum, int(round(n * bench_scale())))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def report_checks(name: str, checks: Iterable[CheckResult], strict: bool = True) -> str:
+    """Render shape checks; assert them when ``strict``."""
+    checks = list(checks)
+    lines = ["shape checks vs paper:"]
+    lines += [c.line() for c in checks]
+    text = "\n".join(lines)
+    print(text)
+    failed = [c for c in checks if not c.passed]
+    if strict and failed:
+        raise AssertionError(
+            f"{name}: {len(failed)} shape check(s) failed:\n"
+            + "\n".join(c.line() for c in failed)
+        )
+    return text

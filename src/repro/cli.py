@@ -1,0 +1,207 @@
+"""Command-line interface: perftest-style tools over the simulator.
+
+Examples::
+
+    python -m repro lat  --system L --op send --size 4096 --client cord
+    python -m repro bw   --system A --transport UD --sweep
+    python -m repro npb  --bench IS CG --ranks 16 --transports bypass cord ipoib
+    python -m repro profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import format_table
+from repro.hw.profiles import PROFILES
+from repro.npb import NpbConfig, run_npb
+from repro.npb.runner import DEFAULT_SUITE
+from repro.perftest.runner import PerftestConfig, default_sizes, run_bw, run_lat
+from repro.perftest.techniques import Techniques
+from repro.units import pretty_size
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--system", choices=sorted(PROFILES), default="L")
+    p.add_argument("--transport", choices=["RC", "UD"], default="RC")
+    p.add_argument("--op", choices=["send", "read", "write"], default="send")
+    p.add_argument("--client", choices=["bypass", "cord"], default="bypass")
+    p.add_argument("--server", choices=["bypass", "cord"], default="bypass")
+    p.add_argument("--size", type=int, default=4096)
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--sweep", action="store_true",
+                   help="sweep the perftest size ladder instead of one size")
+    p.add_argument("--no-zero-copy", action="store_true")
+    p.add_argument("--no-kernel-bypass", action="store_true")
+    p.add_argument("--no-polling", action="store_true")
+
+
+def _config(args, default_iters: int) -> PerftestConfig:
+    tech = Techniques(
+        zero_copy=not args.no_zero_copy,
+        kernel_bypass=not args.no_kernel_bypass,
+        polling=not args.no_polling,
+    )
+    return PerftestConfig(
+        system=args.system, transport=args.transport, op=args.op,
+        client=args.client, server=args.server,
+        iters=args.iters or default_iters, techniques=tech, seed=args.seed,
+    )
+
+
+def cmd_lat(args) -> int:
+    cfg = _config(args, default_iters=200)
+    sizes = default_sizes() if args.sweep else [args.size]
+    rows = []
+    for size in sizes:
+        r = run_lat(cfg, size)
+        rows.append([pretty_size(size), f"{r.avg_us:.3f}", f"{r.p50_ns / 1e3:.3f}",
+                     f"{r.p99_ns / 1e3:.3f}"])
+    print(format_table(
+        ["size", "avg us", "p50 us", "p99 us"], rows,
+        title=f"{cfg.label} latency on system {cfg.system} ({cfg.techniques.label})",
+    ))
+    return 0
+
+
+def cmd_bw(args) -> int:
+    cfg = _config(args, default_iters=1200)
+    sizes = default_sizes() if args.sweep else [args.size]
+    rows = []
+    for size in sizes:
+        if cfg.transport == "UD" and size > 4096:
+            continue
+        r = run_bw(cfg, size)
+        rows.append([pretty_size(size), f"{r.gbit_per_s:.2f}",
+                     f"{r.msg_rate_per_s / 1e6:.3f}"])
+    print(format_table(
+        ["size", "Gbit/s", "Mmsg/s"], rows,
+        title=f"{cfg.label} bandwidth on system {cfg.system} ({cfg.techniques.label})",
+    ))
+    return 0
+
+
+def cmd_npb(args) -> int:
+    rows = []
+    for name in args.bench:
+        cfg = NpbConfig(name=name, klass=args.klass, ranks=args.ranks,
+                        iter_scale=args.iter_scale)
+        results = {}
+        for transport in args.transports:
+            results[transport] = run_npb(cfg, transport=transport,
+                                         system=args.system, seed=args.seed)
+        base = results[args.transports[0]]
+        row = [name, f"{base.per_iter_ns / 1e6:.3f}"]
+        for transport in args.transports:
+            row.append(f"{results[transport].elapsed_ns / base.elapsed_ns:.3f}")
+        rows.append(row)
+    header = ["bench", f"{args.transports[0]} ms/iter"] + [
+        f"{t} rel" for t in args.transports
+    ]
+    print(format_table(header, rows,
+                       title=f"NPB class {args.klass}, {args.ranks} ranks, "
+                             f"system {args.system}"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one traced send and print the message's life."""
+    from repro.analysis import format_timeline, message_timeline
+    from repro.cluster import build_pair
+    from repro.core.endpoint import make_rc_pair
+    from repro.hw.profiles import get_profile
+    from repro.sim import Simulator
+    from repro.sim.trace import Trace
+    from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+    sim = Simulator(seed=args.seed, trace=Trace(enabled=True))
+    _fabric, host_a, host_b = build_pair(sim, get_profile(args.system))
+
+    def main_proc():
+        a, b = yield from make_rc_pair(host_a, host_b, args.client, args.server)
+        sim.trace.clear()  # drop setup noise; trace just the message
+        yield from b.post_recv(RecvWR(wr_id=1, addr=b.buf.addr,
+                                      length=b.buf.length, lkey=b.mr.lkey))
+        yield from a.post_send(SendWR(wr_id=1, opcode=Opcode.SEND,
+                                      addr=a.buf.addr, length=args.size,
+                                      lkey=a.mr.lkey))
+        yield from b.wait_recv()
+        yield from a.wait_send()
+
+    sim.run(sim.process(main_proc()))
+    sim.run()
+    print(f"life of one {args.size} B RC send, "
+          f"{args.client}->{args.server}, system {args.system}:\n")
+    print(format_timeline(message_timeline(sim.trace)))
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    rows = []
+    for name, prof in sorted(PROFILES.items()):
+        rows.append([
+            name, prof.cpu.name, str(prof.cpu.cores),
+            f"{prof.nic.link_bw * 8:.0f}",
+            f"{prof.syscall_cost():.0f}",
+            f"{prof.cord_op_cost():.0f}",
+            "on" if prof.turbo_enabled else "off",
+            "yes" if prof.cord_inline_supported else "no",
+        ])
+    print(format_table(
+        ["profile", "cpu", "cores", "Gbit/s", "syscall ns", "CoRD op ns",
+         "turbo", "CoRD inline"],
+        rows, title="calibrated system profiles",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CoRD reproduction command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lat = sub.add_parser("lat", help="perftest-style latency test")
+    _add_common(p_lat)
+    p_lat.set_defaults(func=cmd_lat)
+
+    p_bw = sub.add_parser("bw", help="perftest-style bandwidth test")
+    _add_common(p_bw)
+    p_bw.set_defaults(func=cmd_bw)
+
+    p_npb = sub.add_parser("npb", help="NPB suite over chosen transports")
+    p_npb.add_argument("--bench", nargs="+", choices=DEFAULT_SUITE,
+                       default=["IS", "EP", "CG"])
+    p_npb.add_argument("--klass", choices=["S", "A", "B", "C", "D"], default="A")
+    p_npb.add_argument("--ranks", type=int, default=8)
+    p_npb.add_argument("--iter-scale", type=float, default=0.2)
+    p_npb.add_argument("--system", choices=sorted(PROFILES), default="A")
+    p_npb.add_argument("--transports", nargs="+",
+                       choices=["bypass", "cord", "ipoib"],
+                       default=["bypass", "cord", "ipoib"])
+    p_npb.add_argument("--seed", type=int, default=11)
+    p_npb.set_defaults(func=cmd_npb)
+
+    p_trace = sub.add_parser("trace", help="trace one message's life")
+    p_trace.add_argument("--system", choices=sorted(PROFILES), default="L")
+    p_trace.add_argument("--client", choices=["bypass", "cord"], default="bypass")
+    p_trace.add_argument("--server", choices=["bypass", "cord"], default="bypass")
+    p_trace.add_argument("--size", type=int, default=4096)
+    p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser("profiles", help="show the calibrated testbeds")
+    p_prof.set_defaults(func=cmd_profiles)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Convenience constructors for common testbed shapes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.fabric import Fabric
+from repro.cluster.host import Host
+from repro.hw.profiles import SystemProfile
+from repro.sim.engine import Simulator
+
+
+def build_cluster(
+    sim: Simulator,
+    system: SystemProfile,
+    num_hosts: int,
+    chunk_bytes: Optional[int] = None,
+) -> tuple[Fabric, list[Host]]:
+    """Build ``num_hosts`` hosts on one fabric."""
+    if num_hosts < 1:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    fabric = Fabric(
+        sim,
+        system.nic,
+        propagation_ns=system.propagation_ns,
+        chunk_bytes=chunk_bytes,
+        name=f"fabric:{system.name}",
+    )
+    hosts = []
+    for host_id in range(num_hosts):
+        host = Host(sim, system, host_id)
+        host.join_fabric(fabric)
+        hosts.append(host)
+    return fabric, hosts
+
+
+def build_pair(
+    sim: Simulator, system: SystemProfile, chunk_bytes: Optional[int] = None
+) -> tuple[Fabric, Host, Host]:
+    """The paper's two-node testbed (back-to-back or one switch hop)."""
+    fabric, hosts = build_cluster(sim, system, 2, chunk_bytes=chunk_bytes)
+    return fabric, hosts[0], hosts[1]

@@ -1,0 +1,129 @@
+"""The network fabric connecting host NICs.
+
+Models a non-blocking switch (or a back-to-back cable for two hosts): each
+host owns one TX port and one RX delivery path.  A message occupies the
+*source* port for its serialization time — so fan-out traffic (alltoall)
+correctly shares a single 100/200 Gbit/s port per host — then arrives at the
+destination after the propagation delay.  Per-packet overheads are charged
+arithmetically from the MTU (see :mod:`repro.hw.link` for rationale).
+
+Loopback (src == dst) bypasses the wire: the NIC hairpins the message at
+PCIe bandwidth with a small fixed latency.  The paper's MPI runs forbid
+shared memory, so intra-node traffic really does traverse the NIC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import HardwareError
+from repro.hw.profiles import NicProfile
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.nic import Nic
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+
+class Fabric:
+    """Switched fabric (or back-to-back wire) between host NICs."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        profile: NicProfile,
+        propagation_ns: float,
+        loopback_latency_ns: float = 350.0,
+        chunk_bytes: Optional[int] = None,
+        name: str = "fabric",
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.propagation_ns = propagation_ns
+        self.loopback_latency_ns = loopback_latency_ns
+        #: Optional transmission granularity for fairness experiments: large
+        #: messages are chopped into chunks so flows interleave on the port.
+        self.chunk_bytes = chunk_bytes
+        self.name = name
+        self._nics: dict[int, "Nic"] = {}
+        self._tx_ports: dict[int, Resource] = {}
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_nic(self, nic: "Nic") -> None:
+        if nic.host_id in self._nics:
+            raise HardwareError(f"host {nic.host_id} already attached to {self.name}")
+        self._nics[nic.host_id] = nic
+        self._tx_ports[nic.host_id] = Resource(
+            self.sim, capacity=1, name=f"{self.name}.tx{nic.host_id}"
+        )
+
+    def nic(self, host_id: int) -> "Nic":
+        try:
+            return self._nics[host_id]
+        except KeyError:
+            raise HardwareError(f"no host {host_id} on {self.name}") from None
+
+    # -- timing ---------------------------------------------------------------
+
+    def serialization_ns(self, nbytes: int) -> float:
+        packets = max(1, math.ceil(nbytes / self.profile.mtu)) if nbytes > 0 else 1
+        return packets * self.profile.per_packet_ns + nbytes / self.profile.link_bw
+
+    def _loopback_ns(self, nbytes: int) -> float:
+        packets = max(1, math.ceil(nbytes / self.profile.mtu)) if nbytes > 0 else 1
+        return packets * self.profile.per_packet_ns + nbytes / self.profile.pcie_bw
+
+    # -- transmission -------------------------------------------------------------
+
+    def transmit(
+        self, src_host: int, dst_host: int, nbytes: int, payload: object
+    ) -> Generator["Event", object, None]:
+        """Carry ``payload`` from ``src_host`` to ``dst_host``.
+
+        Returns when the last bit leaves the source port; delivery happens
+        ``propagation_ns`` later.  FIFO per source port preserves per-QP
+        ordering (PSN reordering at the receiver covers the rest).
+        """
+        if nbytes < 0:
+            raise HardwareError(f"negative transmit size: {nbytes}")
+        dst = self.nic(dst_host)
+
+        if src_host == dst_host:
+            # NIC hairpin: PCIe out and back in, no wire.
+            yield self.sim.timeout(self._loopback_ns(nbytes))
+            self.bytes_carried += nbytes
+            self.messages_carried += 1
+            ev = self.sim.timeout(self.loopback_latency_ns)
+            ev.callbacks.append(lambda _ev, payload=payload: dst.deliver(payload))
+            return
+
+        port = self._tx_ports[src_host]
+        if self.chunk_bytes is None or nbytes <= self.chunk_bytes:
+            req = port.request()
+            yield req
+            try:
+                yield self.sim.timeout(self.serialization_ns(nbytes))
+            finally:
+                port.release(req)
+        else:
+            # Chunked: the port is re-acquired per chunk so concurrent flows
+            # interleave instead of suffering whole-message head-of-line.
+            remaining = nbytes
+            while remaining > 0:
+                chunk = min(remaining, self.chunk_bytes)
+                req = port.request()
+                yield req
+                try:
+                    yield self.sim.timeout(self.serialization_ns(chunk))
+                finally:
+                    port.release(req)
+                remaining -= chunk
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        ev = self.sim.timeout(self.propagation_ns)
+        ev.callbacks.append(lambda _ev, payload=payload: dst.deliver(payload))

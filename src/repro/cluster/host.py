@@ -1,0 +1,49 @@
+"""A host: cores + memory + NIC + kernel, attached to a fabric."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hw.cpu import CpuSet
+from repro.hw.memory import AddressSpace, MemoryModel
+from repro.hw.nic import Nic
+from repro.hw.profiles import SystemProfile
+from repro.kernel.kernel import Kernel
+from repro.verbs.device import Device
+from repro.verbs.mr import MrTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.fabric import Fabric
+    from repro.sim.engine import Simulator
+
+
+class Host:
+    """One node of the testbed."""
+
+    def __init__(self, sim: "Simulator", system: SystemProfile, host_id: int):
+        self.sim = sim
+        self.system = system
+        self.host_id = host_id
+        self.name = f"host{host_id}"
+        self.cpus = CpuSet(sim, system, host_name=self.name)
+        self.mem_model = MemoryModel(system.memory)
+        self.mr_table = MrTable()
+        self.nic = Nic(sim, system.nic, host_id, name=f"{self.name}.nic")
+        self.kernel = Kernel(self)
+        self.device = Device(self)
+        self.fabric: "Fabric" = None  # type: ignore[assignment]  # set by join_fabric
+        self._spaces: list[AddressSpace] = []
+
+    def join_fabric(self, fabric: "Fabric") -> None:
+        self.fabric = fabric
+        fabric.attach_nic(self.nic)
+        self.nic.attach(fabric, self.mr_table)
+
+    def new_address_space(self, name: str = "") -> AddressSpace:
+        """A fresh process address space on this host."""
+        space = AddressSpace(name or f"{self.name}.as{len(self._spaces)}")
+        self._spaces.append(space)
+        return space
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.host_id} system={self.system.name}>"

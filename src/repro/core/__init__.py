@@ -1,0 +1,39 @@
+"""CoRD — the Converged RDMA Dataplane (the paper's contribution).
+
+The dataplane is the layer between the application and the NIC that charges
+the CPU costs of ``post_send`` / ``post_recv`` / ``poll_cq``:
+
+- :class:`~repro.core.dataplane.BypassDataplane` — classical RDMA: the
+  user-space driver builds the WQE and rings the doorbell directly
+  (fig. 2b).
+- :class:`~repro.core.dataplane.CordDataplane` — CoRD: every dataplane
+  operation is a system call; the kernel-level driver (behaviourally
+  identical to the user one) builds the WQE, the CoRD policy chain runs,
+  then the kernel rings the doorbell (fig. 2c).
+
+Policies (:mod:`repro.core.policy`) are lightweight, non-blocking kernel
+interposition hooks: QoS rate limiting, security ACLs, isolation quotas and
+observability — the OS-control payoff the paper argues for.
+"""
+
+from repro.core.dataplane import (
+    BypassDataplane,
+    CordDataplane,
+    Dataplane,
+    WaitMode,
+)
+from repro.core.policy import OpContext, Policy, PolicyChain
+from repro.core.endpoint import Endpoint, make_rc_pair, make_ud_pair
+
+__all__ = [
+    "Dataplane",
+    "BypassDataplane",
+    "CordDataplane",
+    "WaitMode",
+    "Policy",
+    "PolicyChain",
+    "OpContext",
+    "Endpoint",
+    "make_rc_pair",
+    "make_ud_pair",
+]

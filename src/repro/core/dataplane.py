@@ -1,0 +1,420 @@
+"""The dataplanes: kernel bypass vs CoRD.
+
+Both implement the same three-operation interface (the ibverbs data plane,
+§4): ``post_send``, ``post_recv``, ``poll_cq``, plus ``wait_cq`` — a
+completion *waiter* that models either busy-polling or interrupt-driven
+blocking without simulating every spin of a poll loop.
+
+Costs:
+
+========== ============================================= =========================
+operation  BypassDataplane                                CordDataplane
+========== ============================================= =========================
+post_send  driver + doorbell (user space)                 syscall + serialize +
+                                                          policies + driver +
+                                                          doorbell (kernel)
+post_recv  driver (user space)                            syscall + serialize +
+                                                          policies + driver
+poll_cq    ibv_poll_cq (user space)                       syscall + serialize +
+                                                          poll (kernel)
+========== ============================================= =========================
+
+The NIC behaviour after the doorbell is identical in both — by construction,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.core import driver
+from repro.core.policy import OpContext, PolicyChain
+from repro.errors import PolicyViolation
+from repro.hw.cpu import Core
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.qp import QueuePair
+from repro.verbs.wr import CQE, RecvWR, SendWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.kernel.interrupts import CompletionChannel
+    from repro.sim.events import Event
+
+
+class WaitMode(enum.Enum):
+    """How an application waits for completions."""
+
+    POLL = "poll"  # spin on the CQ (default high-performance mode)
+    EVENT = "event"  # arm + block on a completion channel (interrupt path)
+
+
+class Dataplane:
+    """Common state and the shared waiter logic."""
+
+    #: Human-readable mode tag ("BP" or "CD"), mirroring the paper's figures.
+    tag = "??"
+
+    def __init__(self, host: "Host", core: Core, tenant: str = "default"):
+        self.host = host
+        self.core = core
+        self.sim = host.sim
+        self.system = host.system
+        self.tenant = tenant
+        self.ops_posted = 0
+        self.polls = 0
+        self._channels: dict[int, "CompletionChannel"] = {}
+
+    # -- interface ---------------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
+        raise NotImplementedError
+
+    def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator["Event", object, None]:
+        raise NotImplementedError
+
+    def post_recv_many(
+        self, qp: QueuePair, wrs: list[RecvWR]
+    ) -> Generator["Event", object, None]:
+        """Post a chain of recv WRs in one call (``ibv_post_recv`` takes a
+        linked list) — in CoRD this is one syscall for the whole chain,
+        which is how real consumers amortize the kernel crossing."""
+        raise NotImplementedError
+
+    def post_send_many(
+        self, qp: QueuePair, wrs: list[SendWR]
+    ) -> Generator["Event", object, None]:
+        """Post a chain of send WRs in one call (``ibv_post_send`` takes a
+        linked list; perftest's postlist mode).  For CoRD this is the
+        paper-§6 "the problem is the API, not the transition" argument
+        made concrete: one syscall amortized over the whole chain."""
+        raise NotImplementedError
+
+    def post_srq_recv_many(self, srq, wrs: list[RecvWR]) -> Generator["Event", object, None]:
+        """Post a chain of recv WRs to a shared receive queue."""
+        raise NotImplementedError
+
+    def poll_cq(
+        self, cq: CompletionQueue, max_entries: int = 16
+    ) -> Generator["Event", object, list[CQE]]:
+        raise NotImplementedError
+
+    # -- completion waiting ----------------------------------------------------------
+
+    def wait_cq(
+        self,
+        cq: CompletionQueue,
+        max_entries: int = 16,
+        mode: WaitMode = WaitMode.POLL,
+    ) -> Generator["Event", object, list[CQE]]:
+        """Block (by polling or by interrupt) until >= 1 CQE, then reap.
+
+        The polling path is modelled, not spun: the core is held busy for
+        the waiting interval (so DVFS sees a saturated core), then one
+        missed poll and one successful poll are charged.  This keeps event
+        counts O(1) per completion while preserving CPU accounting.
+        """
+        if mode is WaitMode.EVENT:
+            return (yield from self._wait_event(cq, max_entries))
+        ready = cq.wait_nonempty()
+        if not ready.processed:
+            t0 = self.sim.now
+            yield from self.core.busy_poll(ready, 0.0)
+            self._waited(self.sim.now - t0)
+        # One unsuccessful probe (the loop iteration that raced the CQE)
+        # plus the successful reap.
+        yield from self._charge_poll(hit=False)
+        cqes = yield from self.poll_cq(cq, max_entries)
+        return cqes
+
+    #: CPU cost of ibv_req_notify_cq + ibv_ack_cq_events bookkeeping.
+    REARM_NS = 110.0
+
+    def _wait_event(
+        self, cq: CompletionQueue, max_entries: int
+    ) -> Generator["Event", object, list[CQE]]:
+        """Interrupt-driven completion (the §2 "no polling" configuration).
+
+        Every batch of completions is learned through the completion
+        channel's file descriptor — a ``get_cq_event`` system call — after
+        the NIC's interrupt fired and its handler ran (stealing the app
+        core).  This is the large, size-independent constant fig. 1a shows.
+        """
+        chan = self._channels.get(id(cq))
+        if chan is None:
+            chan = self.host.kernel.create_comp_channel()
+            self.host.kernel.bind_cq_to_channel(cq, chan)
+            self._channels[id(cq)] = chan
+        woke = False
+        while True:
+            # Canonical perftest event loop: ack previous events, re-arm,
+            # then drain (the order that avoids losing the arm/poll race).
+            yield from self.core.run(self.REARM_NS)
+            cq.req_notify()
+            cqes = yield from self.poll_cq(cq, max_entries)
+            if cqes:
+                cq.armed = False
+                if not woke:
+                    # This batch was announced by a completion event: its
+                    # interrupt ran on this core and the event fd was read
+                    # with one syscall.  (The blocking path below already
+                    # paid both through the kernel IRQ path + chan.wait.)
+                    yield from self.core.run(self.system.cpu.irq_handler_ns)
+                    yield from self.core.syscall(self.system.cpu.block_ns)
+                return cqes
+            yield from chan.wait(self.core)
+            woke = True
+
+    def _charge_poll(self, hit: bool) -> Generator["Event", object, None]:
+        raise NotImplementedError
+
+    def _waited(self, duration_ns: float) -> None:
+        """Hook: the dataplane spun for ``duration_ns`` awaiting a CQE.
+
+        Bypass spins in a tight user-space loop (full duty).  CoRD spins
+        through repeated poll *syscalls*; the entry/exit stalls lower the
+        core's effective power draw, which the DVFS governor rewards — the
+        paper's observed "system calls interact with DVFS" effect (§5).
+        """
+
+
+class BypassDataplane(Dataplane):
+    """Classical user-level RDMA dataplane (fig. 2b)."""
+
+    tag = "BP"
+
+    def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
+        wr.inline = driver.should_inline(self.system, qp, wr, cord=False)
+        cpu = driver.post_send_cpu_ns(self.system, wr, wr.inline)
+        cpu += driver.doorbell_cpu_ns(self.system)
+        yield from self.core.run(cpu)
+        self.host.nic.hw_post_send(qp, wr)
+        self.ops_posted += 1
+
+    def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator["Event", object, None]:
+        yield from self.core.run(driver.post_recv_cpu_ns(self.system))
+        self.host.nic.hw_post_recv(qp, wr)
+        self.ops_posted += 1
+
+    def post_recv_many(
+        self, qp: QueuePair, wrs: list[RecvWR]
+    ) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        yield from self.core.run(driver.post_recv_cpu_ns(self.system) * len(wrs))
+        for wr in wrs:
+            self.host.nic.hw_post_recv(qp, wr)
+        self.ops_posted += len(wrs)
+
+    def post_srq_recv_many(self, srq, wrs: list[RecvWR]) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        yield from self.core.run(driver.post_recv_cpu_ns(self.system) * len(wrs))
+        for wr in wrs:
+            self.host.nic.hw_post_srq_recv(srq, wr)
+        self.ops_posted += len(wrs)
+
+    def post_send_many(
+        self, qp: QueuePair, wrs: list[SendWR]
+    ) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        cpu = 0.0
+        for wr in wrs:
+            wr.inline = driver.should_inline(self.system, qp, wr, cord=False)
+            cpu += driver.post_send_cpu_ns(self.system, wr, wr.inline)
+        cpu += driver.doorbell_cpu_ns(self.system)  # one doorbell per chain
+        yield from self.core.run(cpu)
+        for wr in wrs:
+            self.host.nic.hw_post_send(qp, wr)
+        self.ops_posted += len(wrs)
+
+    def poll_cq(
+        self, cq: CompletionQueue, max_entries: int = 16
+    ) -> Generator["Event", object, list[CQE]]:
+        cqes = cq.poll(max_entries)
+        cost = (
+            self.system.cpu.poll_hit_ns if cqes else self.system.cpu.poll_miss_ns
+        )
+        yield from self.core.run(cost)
+        self.polls += 1
+        return cqes
+
+    def _charge_poll(self, hit: bool) -> Generator["Event", object, None]:
+        cost = self.system.cpu.poll_hit_ns if hit else self.system.cpu.poll_miss_ns
+        yield from self.core.run(cost)
+
+
+class CordDataplane(Dataplane):
+    """CoRD: every dataplane operation crosses the kernel (fig. 2c)."""
+
+    tag = "CD"
+
+    def __init__(
+        self,
+        host: "Host",
+        core: Core,
+        policies: Optional[PolicyChain] = None,
+        tenant: str = "default",
+    ):
+        super().__init__(host, core, tenant=tenant)
+        self.policies = policies if policies is not None else PolicyChain()
+        self.denied_ops = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _interpose(
+        self, ctx: OpContext, fast_path_ns: float
+    ) -> Generator["Event", object, bool]:
+        """One CoRD syscall: transition + serialize + policies + fast path.
+
+        Returns False (after charging the full round trip) when a policy
+        denied the operation — the syscall still happened.
+        """
+        serialize = self.system.cord_serialize_ns
+        kernel_entry = self.system.cord_kernel_driver_ns
+        try:
+            policy_ns = self.policies.evaluate(ctx)
+        except PolicyViolation:
+            self.denied_ops += 1
+            # Denied: pay transition + serialization + the policy walk up to
+            # the denial; the driver fast path never runs.
+            yield from self.core.syscall(serialize + kernel_entry)
+            raise
+        yield from self.core.syscall(serialize + kernel_entry + policy_ns + fast_path_ns)
+        return True
+
+    # -- interface ----------------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
+        wr.inline = driver.should_inline(self.system, qp, wr, cord=True)
+        fast = driver.post_send_cpu_ns(self.system, wr, wr.inline)
+        fast += driver.doorbell_cpu_ns(self.system)
+        ctx = OpContext(
+            now=self.sim.now, host=self.host, op="post_send",
+            qp=qp, send_wr=wr, tenant=self.tenant,
+        )
+        yield from self._interpose(ctx, fast)
+        self.host.nic.hw_post_send(qp, wr)
+        self.ops_posted += 1
+
+    def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator["Event", object, None]:
+        ctx = OpContext(
+            now=self.sim.now, host=self.host, op="post_recv",
+            qp=qp, recv_wr=wr, tenant=self.tenant,
+        )
+        yield from self._interpose(ctx, driver.post_recv_cpu_ns(self.system))
+        self.host.nic.hw_post_recv(qp, wr)
+        self.ops_posted += 1
+
+    def post_recv_many(
+        self, qp: QueuePair, wrs: list[RecvWR]
+    ) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        # One syscall carries the whole chain; the policy chain still sees
+        # each WR (it must — that is the control CoRD promises).
+        policy_ns = 0.0
+        for wr in wrs:
+            ctx = OpContext(
+                now=self.sim.now, host=self.host, op="post_recv",
+                qp=qp, recv_wr=wr, tenant=self.tenant,
+            )
+            try:
+                policy_ns += self.policies.evaluate(ctx)
+            except PolicyViolation:
+                self.denied_ops += 1
+                yield from self.core.syscall(
+                    self.system.cord_serialize_ns + self.system.cord_kernel_driver_ns
+                )
+                raise
+        fast = driver.post_recv_cpu_ns(self.system) * len(wrs)
+        yield from self.core.syscall(
+            self.system.cord_serialize_ns
+            + self.system.cord_kernel_driver_ns
+            + policy_ns
+            + fast
+        )
+        for wr in wrs:
+            self.host.nic.hw_post_recv(qp, wr)
+        self.ops_posted += len(wrs)
+
+    def post_srq_recv_many(self, srq, wrs: list[RecvWR]) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        policy_ns = 0.0
+        for wr in wrs:
+            ctx = OpContext(
+                now=self.sim.now, host=self.host, op="post_recv",
+                recv_wr=wr, tenant=self.tenant,
+            )
+            policy_ns += self.policies.evaluate(ctx)
+        fast = driver.post_recv_cpu_ns(self.system) * len(wrs)
+        yield from self.core.syscall(
+            self.system.cord_serialize_ns + self.system.cord_kernel_driver_ns
+            + policy_ns + fast
+        )
+        for wr in wrs:
+            self.host.nic.hw_post_srq_recv(srq, wr)
+        self.ops_posted += len(wrs)
+
+    def post_send_many(
+        self, qp: QueuePair, wrs: list[SendWR]
+    ) -> Generator["Event", object, None]:
+        if not wrs:
+            return
+        # One syscall + one serialization carries the chain; the policy
+        # chain still inspects every WR, and the per-WR driver fast path
+        # still runs (in the kernel).
+        policy_ns = 0.0
+        fast = driver.doorbell_cpu_ns(self.system)
+        for wr in wrs:
+            wr.inline = driver.should_inline(self.system, qp, wr, cord=True)
+            fast += driver.post_send_cpu_ns(self.system, wr, wr.inline)
+            ctx = OpContext(
+                now=self.sim.now, host=self.host, op="post_send",
+                qp=qp, send_wr=wr, tenant=self.tenant,
+            )
+            try:
+                policy_ns += self.policies.evaluate(ctx)
+            except PolicyViolation:
+                self.denied_ops += 1
+                yield from self.core.syscall(
+                    self.system.cord_serialize_ns + self.system.cord_kernel_driver_ns
+                )
+                raise
+        yield from self.core.syscall(
+            self.system.cord_serialize_ns
+            + self.system.cord_kernel_driver_ns
+            + policy_ns
+            + fast
+        )
+        for wr in wrs:
+            self.host.nic.hw_post_send(qp, wr)
+        self.ops_posted += len(wrs)
+
+    def poll_cq(
+        self, cq: CompletionQueue, max_entries: int = 16
+    ) -> Generator["Event", object, list[CQE]]:
+        ctx = OpContext(
+            now=self.sim.now, host=self.host, op="poll_cq", cq=cq, tenant=self.tenant
+        )
+        cqes = cq.poll(max_entries)
+        base = self.system.cpu.poll_hit_ns if cqes else self.system.cpu.poll_miss_ns
+        yield from self._interpose(ctx, base)
+        self.polls += 1
+        return cqes
+
+    def _charge_poll(self, hit: bool) -> Generator["Event", object, None]:
+        base = self.system.cpu.poll_hit_ns if hit else self.system.cpu.poll_miss_ns
+        yield from self.core.syscall(
+            self.system.cord_serialize_ns + self.system.cord_kernel_driver_ns + base
+        )
+        self.polls += 1
+
+    #: Share of a CoRD poll-wait the DVFS governor credits as idle
+    #: (kernel entry/exit pipeline stalls during the syscall spin loop).
+    WAIT_IDLE_CREDIT = 0.3
+
+    def _waited(self, duration_ns: float) -> None:
+        self.core.grant_idle_credit(duration_ns * self.WAIT_IDLE_CREDIT)

@@ -1,0 +1,22 @@
+"""Shipped CoRD policies: QoS, security, isolation, observability.
+
+These are the concrete payoffs of putting the kernel back on the dataplane
+(paper §1/§3): each is a lightweight, non-blocking check the OS can apply
+per operation because — unlike with kernel bypass — it *sees* every
+operation.
+"""
+
+from repro.core.policies.qos import TokenBucketQos
+from repro.core.policies.security import SecurityAcl, AclRule
+from repro.core.policies.isolation import IsolationQuota
+from repro.core.policies.observability import FlowStats
+from repro.core.policies.gate import SuspendGate
+
+__all__ = [
+    "TokenBucketQos",
+    "SecurityAcl",
+    "AclRule",
+    "IsolationQuota",
+    "FlowStats",
+    "SuspendGate",
+]

@@ -1,0 +1,45 @@
+"""Suspend/resume gate: OS-level control over *existing* connections.
+
+The paper's abstract names the core loss under kernel bypass: "limiting
+the OS control over existing network connections."  With CoRD the kernel
+sees every operation, so an operator can *suspend* a tenant's dataplane —
+subsequent posts are denied non-blockingly until resume — without the
+application's cooperation.  Combined with the NIC draining its in-flight
+work, this is the building block for transparent migration (MigrOS [69])
+and live policy changes.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import OpContext, Policy
+
+GATE_CHECK_NS = 8.0
+
+
+class SuspendGate(Policy):
+    """Per-tenant dataplane on/off switch."""
+
+    name = "gate.suspend"
+
+    def __init__(self, suspend_polls: bool = False):
+        super().__init__()
+        #: Suspending polls too would starve completion reaping; default
+        #: lets the app drain while suspended (the graceful mode).
+        self.suspend_polls = suspend_polls
+        self._suspended: set[str] = set()
+
+    def suspend(self, tenant: str) -> None:
+        self._suspended.add(tenant)
+
+    def resume(self, tenant: str) -> None:
+        self._suspended.discard(tenant)
+
+    def is_suspended(self, tenant: str) -> bool:
+        return tenant in self._suspended
+
+    def _evaluate(self, ctx: OpContext) -> float:
+        if ctx.tenant in self._suspended:
+            if ctx.op == "poll_cq" and not self.suspend_polls:
+                return GATE_CHECK_NS
+            raise self.deny(f"tenant {ctx.tenant!r} is suspended")
+        return GATE_CHECK_NS

@@ -1,0 +1,82 @@
+"""Isolation: per-tenant operation/byte budgets over sliding epochs.
+
+The cgroup-flavoured resource control the paper points at ([81]): each
+tenant gets at most ``max_ops`` operations and ``max_bytes`` payload bytes
+per ``epoch_ns`` window; excess operations are denied non-blockingly.
+Unlike QoS (a *rate* smoother), this is a hard *budget* — the mechanism an
+operator uses to contain a misbehaving container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import OpContext, Policy
+from repro.errors import ConfigError
+
+#: Kernel cost of the budget bookkeeping per operation.
+QUOTA_CHECK_NS = 28.0
+
+
+@dataclass
+class _TenantWindow:
+    epoch_start: float = 0.0
+    ops: int = 0
+    bytes: int = 0
+
+
+class IsolationQuota(Policy):
+    """Per-tenant op and byte budgets per epoch."""
+
+    name = "isolation.quota"
+
+    def __init__(
+        self,
+        epoch_ns: float,
+        max_ops: int | None = None,
+        max_bytes: int | None = None,
+        count_polls: bool = False,
+    ):
+        super().__init__()
+        if epoch_ns <= 0:
+            raise ConfigError(f"epoch must be positive: {epoch_ns}")
+        if max_ops is None and max_bytes is None:
+            raise ConfigError("at least one of max_ops/max_bytes must be set")
+        self.epoch_ns = epoch_ns
+        self.max_ops = max_ops
+        self.max_bytes = max_bytes
+        self.count_polls = count_polls
+        self._windows: dict[str, _TenantWindow] = {}
+
+    def _window(self, tenant: str, now: float) -> _TenantWindow:
+        win = self._windows.get(tenant)
+        if win is None:
+            win = _TenantWindow(epoch_start=now)
+            self._windows[tenant] = win
+        elif now - win.epoch_start >= self.epoch_ns:
+            win.epoch_start = now - ((now - win.epoch_start) % self.epoch_ns)
+            win.ops = 0
+            win.bytes = 0
+        return win
+
+    def usage(self, tenant: str) -> tuple[int, int]:
+        """(ops, bytes) consumed in the tenant's current epoch."""
+        win = self._windows.get(tenant)
+        return (win.ops, win.bytes) if win else (0, 0)
+
+    def _evaluate(self, ctx: OpContext) -> float:
+        if ctx.op == "poll_cq" and not self.count_polls:
+            return QUOTA_CHECK_NS
+        win = self._window(ctx.tenant, ctx.now)
+        size = ctx.send_wr.length if ctx.send_wr is not None else 0
+        if self.max_ops is not None and win.ops + 1 > self.max_ops:
+            raise self.deny(
+                f"tenant {ctx.tenant!r} exceeded {self.max_ops} ops/epoch"
+            )
+        if self.max_bytes is not None and win.bytes + size > self.max_bytes:
+            raise self.deny(
+                f"tenant {ctx.tenant!r} exceeded {self.max_bytes} bytes/epoch"
+            )
+        win.ops += 1
+        win.bytes += size
+        return QUOTA_CHECK_NS

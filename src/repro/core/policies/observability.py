@@ -1,0 +1,81 @@
+"""Observability: per-flow statistics export.
+
+The eBPF-style monitoring use case ([3] in the paper): with the dataplane
+in the kernel, the OS can account every RDMA operation per QP/tenant —
+operation mix, byte counts, a log2 message-size histogram and op rates —
+without application cooperation.  Never denies anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import OpContext, Policy
+
+#: Kernel cost of the accounting per operation.
+ACCOUNT_NS = 22.0
+
+
+@dataclass
+class FlowRecord:
+    """Accumulated statistics for one (tenant, qpn) flow."""
+
+    tenant: str
+    qpn: int
+    ops: dict[str, int] = field(default_factory=dict)
+    bytes_sent: int = 0
+    first_ns: float = 0.0
+    last_ns: float = 0.0
+    #: log2 message-size histogram: bucket i counts sizes in [2^i, 2^(i+1)).
+    size_hist: dict[int, int] = field(default_factory=dict)
+
+    def message_rate_per_s(self) -> float:
+        span = self.last_ns - self.first_ns
+        sends = self.ops.get("post_send", 0)
+        if span <= 0 or sends < 2:
+            return 0.0
+        return (sends - 1) / span * 1e9
+
+
+class FlowStats(Policy):
+    """Account every dataplane operation per flow."""
+
+    name = "observability.flow_stats"
+
+    def __init__(self, histogram: bool = True):
+        super().__init__()
+        self.histogram = histogram
+        self.flows: dict[tuple[str, int], FlowRecord] = {}
+
+    def _evaluate(self, ctx: OpContext) -> float:
+        qpn = ctx.qp.qpn if ctx.qp is not None else -1
+        key = (ctx.tenant, qpn)
+        rec = self.flows.get(key)
+        if rec is None:
+            rec = FlowRecord(tenant=ctx.tenant, qpn=qpn, first_ns=ctx.now)
+            self.flows[key] = rec
+        rec.ops[ctx.op] = rec.ops.get(ctx.op, 0) + 1
+        rec.last_ns = ctx.now
+        if ctx.send_wr is not None:
+            size = ctx.send_wr.length
+            rec.bytes_sent += size
+            if self.histogram:
+                bucket = max(0, size.bit_length() - 1)
+                rec.size_hist[bucket] = rec.size_hist.get(bucket, 0) + 1
+        return ACCOUNT_NS
+
+    def report(self) -> list[dict[str, object]]:
+        """Exportable snapshot, sorted by bytes sent (descending)."""
+        out = []
+        for rec in sorted(self.flows.values(), key=lambda r: -r.bytes_sent):
+            out.append(
+                {
+                    "tenant": rec.tenant,
+                    "qpn": rec.qpn,
+                    "ops": dict(rec.ops),
+                    "bytes_sent": rec.bytes_sent,
+                    "msg_rate_per_s": rec.message_rate_per_s(),
+                    "size_hist": dict(rec.size_hist),
+                }
+            )
+        return out

@@ -1,0 +1,58 @@
+"""QoS: token-bucket rate limiting of send bandwidth.
+
+A per-tenant token bucket refilled at ``rate_bytes_per_s`` with capacity
+``burst_bytes``.  A ``post_send`` whose payload exceeds the available
+tokens is denied (EAGAIN-style, non-blocking — the paper's constraint);
+the application retries.  This is the software analogue of what Justitia
+and FreeFlow do with dedicated cores or NIC offload.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import OpContext, Policy
+from repro.errors import ConfigError
+
+#: Kernel cost of the token-bucket check per operation.
+QOS_CHECK_NS = 35.0
+
+
+class TokenBucketQos(Policy):
+    """Rate-limit sends per tenant."""
+
+    name = "qos.token_bucket"
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: int):
+        super().__init__()
+        if rate_bytes_per_s <= 0:
+            raise ConfigError(f"rate must be positive: {rate_bytes_per_s}")
+        if burst_bytes <= 0:
+            raise ConfigError(f"burst must be positive: {burst_bytes}")
+        self.rate_per_ns = rate_bytes_per_s / 1e9
+        self.burst_bytes = float(burst_bytes)
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, t)
+        self.bytes_admitted = 0
+        self.bytes_denied = 0
+
+    def _refill(self, tenant: str, now: float) -> float:
+        tokens, last = self._buckets.get(tenant, (self.burst_bytes, now))
+        tokens = min(self.burst_bytes, tokens + (now - last) * self.rate_per_ns)
+        self._buckets[tenant] = (tokens, now)
+        return tokens
+
+    def tokens(self, tenant: str, now: float) -> float:
+        """Current token level (refilled to ``now``)."""
+        return self._refill(tenant, now)
+
+    def _evaluate(self, ctx: OpContext) -> float:
+        if ctx.op != "post_send" or ctx.send_wr is None:
+            return QOS_CHECK_NS
+        size = ctx.send_wr.length
+        tokens = self._refill(ctx.tenant, ctx.now)
+        if size > tokens:
+            self.bytes_denied += size
+            raise self.deny(
+                f"tenant {ctx.tenant!r}: {size} B exceeds {tokens:.0f} available tokens"
+            )
+        self._buckets[ctx.tenant] = (tokens - size, ctx.now)
+        self.bytes_admitted += size
+        return QOS_CHECK_NS

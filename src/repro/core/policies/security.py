@@ -1,0 +1,73 @@
+"""Security: per-operation access-control rules.
+
+With kernel bypass, the OS cannot stop an application from issuing, say,
+RDMA reads against a leaked rkey (the ReDMArk attack family the paper
+cites); with CoRD every operation is inspectable.  ``SecurityAcl`` applies
+an ordered first-match rule list over (tenant, opcode, destination,
+message size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import OpContext, Policy
+from repro.verbs.wr import Opcode
+
+#: Kernel cost per rule evaluated.
+RULE_CHECK_NS = 12.0
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """First-match rule; ``None`` fields are wildcards."""
+
+    action: str  # "allow" | "deny"
+    tenant: Optional[str] = None
+    opcode: Optional[Opcode] = None
+    dst_host: Optional[int] = None
+    max_bytes: Optional[int] = None  # rule matches when length > max_bytes
+
+    def matches(self, ctx: OpContext) -> bool:
+        wr = ctx.send_wr
+        if self.tenant is not None and ctx.tenant != self.tenant:
+            return False
+        if self.opcode is not None and (wr is None or wr.opcode is not self.opcode):
+            return False
+        if self.dst_host is not None:
+            if ctx.qp is None:
+                return False
+            dest = ctx.qp.remote if wr is None or wr.ah is None else wr.ah
+            if dest is None or dest[0] != self.dst_host:
+                return False
+        if self.max_bytes is not None and (wr is None or wr.length <= self.max_bytes):
+            return False
+        return True
+
+
+class SecurityAcl(Policy):
+    """Ordered first-match ACL over send-side dataplane operations."""
+
+    name = "security.acl"
+
+    def __init__(self, rules: list[AclRule], default_allow: bool = True):
+        super().__init__()
+        if not all(r.action in ("allow", "deny") for r in rules):
+            raise ValueError("rule actions must be 'allow' or 'deny'")
+        self.rules = list(rules)
+        self.default_allow = default_allow
+
+    def _evaluate(self, ctx: OpContext) -> float:
+        if ctx.op != "post_send":
+            return RULE_CHECK_NS  # recv/poll: constant sanity check
+        cost = 0.0
+        for rule in self.rules:
+            cost += RULE_CHECK_NS
+            if rule.matches(ctx):
+                if rule.action == "deny":
+                    raise self.deny(f"rule {rule} matched")
+                return cost
+        if not self.default_allow:
+            raise self.deny("no rule matched and default is deny")
+        return cost

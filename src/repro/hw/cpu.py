@@ -1,0 +1,192 @@
+"""CPU cores with a DVFS/turbo model.
+
+Each simulated thread is pinned to a :class:`Core` (the paper pins all
+benchmark processes).  A core is a capacity-1 resource: oversubscribed cores
+serialize their threads' work.  Work durations are scaled by the current
+effective frequency, which a simple duty-cycle EMA governs:
+
+- Turbo disabled (system L): frequency is nominal, always.
+- Turbo enabled (system A): a core that is *not* saturated runs up to
+  ``turbo_headroom`` faster.  Sustained busy-polling drives the duty cycle
+  to 1 and forfeits the headroom; syscalls grant a small idle credit
+  (``dvfs_syscall_credit_ns``).  This reproduces the paper's observation
+  that CoRD can marginally outperform kernel bypass on large-message
+  bandwidth when Turbo is on (§5: "system calls interact with DVFS").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import HardwareError
+from repro.hw.profiles import CpuProfile, SystemProfile
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.sim.rng import lognormal_jitter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Core:
+    """One CPU core: exclusive execution resource + frequency governor."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        system: SystemProfile,
+        index: int = 0,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.system = system
+        self.profile: CpuProfile = system.cpu
+        self.index = index
+        self.name = name or f"core{index}"
+        self.res = Resource(sim, capacity=1, name=self.name)
+        self._rng = sim.rng.stream(f"cpu:{self.name}")
+        # Duty-cycle EMA state for the DVFS governor.
+        self._duty: float = 0.0
+        self._duty_t: float = sim.now
+        # Accounting.
+        self.busy_ns: float = 0.0
+        self.syscalls: int = 0
+
+    # -- DVFS -------------------------------------------------------------------
+
+    def _decay_duty(self) -> None:
+        """Decay the duty EMA over the idle gap since the last update."""
+        now = self.sim.now
+        gap = now - self._duty_t
+        if gap > 0:
+            self._duty *= math.exp(-gap / self.profile.dvfs_window_ns)
+            self._duty_t = now
+
+    def _absorb_busy(self, duration: float) -> None:
+        """Fold a busy interval ending now into the duty EMA."""
+        w = self.profile.dvfs_window_ns
+        frac = math.exp(-duration / w)
+        self._duty = 1.0 * (1.0 - frac) + self._duty * frac
+        self._duty_t = self.sim.now
+
+    @property
+    def duty_cycle(self) -> float:
+        """Current duty-cycle estimate in [0, 1]."""
+        self._decay_duty()
+        return self._duty
+
+    @property
+    def frequency_factor(self) -> float:
+        """Effective frequency relative to nominal (>= 1.0)."""
+        if not self.system.turbo_enabled:
+            return 1.0
+        headroom = self.profile.turbo_headroom - 1.0
+        return 1.0 + headroom * (1.0 - self.duty_cycle)
+
+    def grant_idle_credit(self, credit_ns: float) -> None:
+        """Pretend the core idled for ``credit_ns`` (DVFS syscall effect)."""
+        if credit_ns <= 0:
+            return
+        self._decay_duty()
+        self._duty *= math.exp(-credit_ns / self.profile.dvfs_window_ns)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, work_ns: float) -> Generator[Event, object, None]:
+        """Execute ``work_ns`` of nominal-frequency work on this core.
+
+        Acquires the core (queueing behind other pinned threads), advances
+        time by the frequency-scaled duration, updates DVFS accounting.
+        """
+        if work_ns < 0:
+            raise HardwareError(f"negative work: {work_ns}")
+        req = self.res.request()
+        yield req
+        try:
+            if not self.system.turbo_enabled:
+                if work_ns > 0:
+                    yield self.sim.timeout(work_ns)
+                    self._absorb_busy(work_ns)
+                    self.busy_ns += work_ns
+            else:
+                # Slice long work so duty and frequency co-evolve: a long
+                # compute block saturates the core and decays to nominal
+                # frequency instead of riding its entry-time turbo factor.
+                remaining = work_ns
+                while remaining > 0:
+                    slice_nominal = min(remaining, self.profile.dvfs_window_ns)
+                    scaled = slice_nominal / self.frequency_factor
+                    yield self.sim.timeout(scaled)
+                    self._absorb_busy(scaled)
+                    self.busy_ns += scaled
+                    remaining -= slice_nominal
+        finally:
+            self.res.release(req)
+
+    def syscall(
+        self, kernel_work_ns: float = 0.0
+    ) -> Generator[Event, object, None]:
+        """One syscall round trip plus ``kernel_work_ns`` of kernel work.
+
+        Applies KPTI cost when the system profile enables it and lognormal
+        jitter on virtualized systems.
+        """
+        base = self.system.syscall_cost() + kernel_work_ns
+        cost = lognormal_jitter(self._rng, base, self.system.syscall_jitter_cv)
+        self.syscalls += 1
+        yield from self.run(cost)
+        self.grant_idle_credit(self.profile.dvfs_syscall_credit_ns)
+
+    def busy_poll(self, until: Event, check_ns: float) -> Generator[Event, object, float]:
+        """Busy-poll on the core until ``until`` fires.
+
+        Returns the polling CPU time burnt.  The waiting time counts as busy
+        for the DVFS governor (the defining property of polling), and the
+        caller pays one final ``check_ns`` to observe the result.
+        """
+        req = self.res.request()
+        yield req
+        try:
+            start = self.sim.now
+            if not until.processed:
+                yield until
+            waited = self.sim.now - start
+            tail = check_ns / self.frequency_factor
+            if tail > 0:
+                yield self.sim.timeout(tail)
+            burnt = waited + tail
+            if burnt > 0:
+                self._absorb_busy(burnt)
+                self.busy_ns += burnt
+            return burnt
+        finally:
+            self.res.release(req)
+
+
+class CpuSet:
+    """The cores of one host, with simple pinning allocation."""
+
+    def __init__(self, sim: "Simulator", system: SystemProfile, host_name: str = "host"):
+        self.sim = sim
+        self.system = system
+        self.cores = [
+            Core(sim, system, index=i, name=f"{host_name}.core{i}")
+            for i in range(system.cpu.cores)
+        ]
+        self._next_pin = 0
+
+    def pin(self, core_index: Optional[int] = None) -> Core:
+        """Claim a core: explicit index, or round-robin when None."""
+        if core_index is None:
+            core = self.cores[self._next_pin % len(self.cores)]
+            self._next_pin += 1
+            return core
+        if not 0 <= core_index < len(self.cores):
+            raise HardwareError(
+                f"core index {core_index} out of range 0..{len(self.cores) - 1}"
+            )
+        return self.cores[core_index]
+
+    def __len__(self) -> int:
+        return len(self.cores)

@@ -1,0 +1,634 @@
+"""ConnectX-like NIC engine.
+
+The NIC consumes doorbelled work-queue entries, moves payloads by DMA,
+transmits messages on the fabric, enforces RC reliability (PSN ordering,
+ACK/NAK, RNR retry) and delivers completions.  All *CPU* costs (building the
+WQE, the doorbell write, syscalls in CoRD) are charged by the dataplane
+layer before :meth:`Nic.hw_post_send` is reached — the NIC only models
+device time, so bypass and CoRD share exactly the same NIC behaviour, as in
+the paper ("the drivers ... are largely equivalent", §3).
+
+Timing model (cut-through):
+
+- send engine: ``wqe_process_ns`` occupancy per WQE (message-rate cap),
+  then a WQE/payload-fetch pipeline-fill latency (skipped for inline),
+  then wire serialization on the fabric (bandwidth cap).
+- receive engine: ``rx_process_ns`` occupancy per message, payload DMA
+  pipeline-fill latency, CQE DMA write, optional interrupt.
+- RC: responder ACKs each message; the initiator completes on ACK.
+  Out-of-PSN-order arrivals are held in the QP reorder buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.errors import HardwareError, MemoryAccessError, VerbsError
+from repro.hw.profiles import NicProfile
+from repro.sim.store import Store
+from repro.verbs.qp import QPState, QueuePair, Transport
+from repro.verbs.wr import CQE, Opcode, RecvWR, SendWR, WCStatus, WireMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+    from repro.verbs.mr import MrTable
+
+#: Wire header size charged per message (BTH + transport headers).
+HEADER_BYTES = 48
+#: RNR NAK retry back-off at the initiator.
+RNR_DELAY_NS = 12_000.0
+#: Fraction of rx engine occupancy an ACK costs relative to a data message.
+ACK_RX_FRACTION = 0.25
+
+
+class NicCounters:
+    """Observable NIC statistics (also feed the observability policy)."""
+
+    def __init__(self) -> None:
+        self.tx_msgs = 0
+        self.tx_bytes = 0
+        self.rx_msgs = 0
+        self.rx_bytes = 0
+        self.acks_sent = 0
+        self.rnr_naks_sent = 0
+        self.ud_drops = 0
+        self.remote_access_errors = 0
+        self.retries = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class Nic:
+    """One host's RDMA NIC."""
+
+    def __init__(self, sim: "Simulator", profile: NicProfile, host_id: int, name: str = ""):
+        self.sim = sim
+        self.profile = profile
+        self.host_id = host_id
+        self.name = name or f"nic{host_id}"
+        self.counters = NicCounters()
+
+        self._qps: dict[int, QueuePair] = {}
+        self._qpn_seq = 0x40
+        self._tx_store: Store = Store(sim, name=f"{self.name}.txq")
+        self._rx_store: Store = Store(sim, name=f"{self.name}.rxq")
+        self._fabric = None  # set by attach()
+        self.mr_table: Optional["MrTable"] = None  # set by attach()
+        self._started = False
+        self._mem_watchers: list[tuple[int, int, object]] = []
+        #: Set by the IPoIB device: receives kind == "ip" wire messages.
+        self.ip_handler: Optional[Callable[[WireMessage], None]] = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, fabric, mr_table: "MrTable") -> None:
+        """Connect to the fabric and this host's MR table; start engines."""
+        self._fabric = fabric
+        self.mr_table = mr_table
+        if not self._started:
+            self.sim.process(self._tx_engine(), name=f"{self.name}.tx")
+            self.sim.process(self._rx_engine(), name=f"{self.name}.rx")
+            self._started = True
+
+    def deliver(self, msg: WireMessage) -> None:
+        """Fabric drops an arriving message into the receive pipeline."""
+        self.sim.trace.emit(self.sim.now, "nic", "rx_arrive",
+                            host=self.host_id, kind=msg.kind, psn=msg.psn,
+                            src_host=msg.src_host, size=msg.length)
+        self._rx_store.put(msg)
+
+    def next_qpn(self) -> int:
+        self._qpn_seq += 1
+        return self._qpn_seq
+
+    def register_qp(self, qp: QueuePair) -> None:
+        self._qps[qp.qpn] = qp
+
+    def lookup_qp(self, qpn: int) -> Optional[QueuePair]:
+        return self._qps.get(qpn)
+
+    # -- dataplane entry points (CPU costs already paid by the dataplane) ---------
+
+    def hw_post_send(self, qp: QueuePair, wr: SendWR) -> None:
+        """Accept a doorbelled send WQE into the device."""
+        qp.check_post_send(wr)
+        if qp.transport is Transport.UD and wr.length > self.profile.mtu:
+            raise VerbsError(
+                f"UD message of {wr.length} B exceeds MTU {self.profile.mtu}"
+            )
+        # Local protection check at post time (as the real NIC would fail
+        # the WQE; we surface it synchronously for debuggability).
+        if wr.opcode.reads_local_memory and not wr.inline and wr.length > 0:
+            assert self.mr_table is not None
+            self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=False)
+        if wr.opcode is Opcode.RDMA_READ or wr.opcode.is_atomic:
+            # The fetched / original value is DMA-written locally.
+            assert self.mr_table is not None
+            self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=True)
+        psn = qp.assign_psn() if qp.transport is Transport.RC else 0
+        qp.sq_outstanding += 1
+        qp.sends_posted += 1
+        self.sim.trace.emit(self.sim.now, "nic", "doorbell",
+                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
+                            opcode=wr.opcode.value, psn=psn, size=wr.length)
+        self._tx_store.put((qp, wr, psn))
+
+    def hw_post_recv(self, qp: QueuePair, wr: RecvWR) -> None:
+        """Accept a recv WQE into the device-visible receive queue."""
+        qp.check_post_recv(wr)
+        if wr.length > 0:
+            assert self.mr_table is not None
+            self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=True)
+        qp.rq.append(wr)
+        qp.recvs_posted += 1
+
+    def hw_post_srq_recv(self, srq, wr: RecvWR) -> None:
+        """Accept a recv WQE into a shared receive queue."""
+        srq.check_post(wr)
+        if wr.length > 0:
+            assert self.mr_table is not None
+            self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=True)
+        srq.push(wr)
+
+    # -- send path ---------------------------------------------------------------
+
+    def _tx_engine(self) -> Generator["Event", object, None]:
+        """Serial WQE-scheduling engine: caps the message rate."""
+        while True:
+            item = yield self._tx_store.get()
+            qp, wr, psn = item  # type: ignore[misc]
+            yield self.sim.timeout(self.profile.wqe_process_ns)
+            # Pipeline the rest so the engine can schedule the next WQE
+            # while this message is still fetching payload / on the wire.
+            self.sim.process(
+                self._initiate(qp, wr, psn), name=f"{self.name}.tx.msg"
+            )
+
+    def _initiate(
+        self, qp: QueuePair, wr: SendWR, psn: int, is_retry: bool = False
+    ) -> Generator["Event", object, None]:
+        """Move one message from local memory onto the wire."""
+        if not is_retry:
+            # Pipeline-fill: WQE fetch unless the CPU wrote it inline with
+            # the doorbell (BlueFlame-style), then payload first-burst fetch.
+            fill = 0.0
+            if not wr.inline:
+                fill += self.profile.dma_read_lat_ns
+            if wr.opcode.reads_local_memory and not wr.inline and wr.length > 0:
+                fill += self.profile.dma_read_lat_ns
+            if fill:
+                yield self.sim.timeout(fill)
+
+        dst_host, dst_qpn = qp.destination_for(wr)
+        data = wr.data
+        if data is None and wr.opcode.reads_local_memory and wr.length > 0:
+            # Materialize real bytes only if the source buffer holds some.
+            assert self.mr_table is not None
+            try:
+                mr = self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=False)
+                if mr.buffer.data is not None:
+                    data = mr.buffer.read(wr.addr - mr.buffer.addr, wr.length)
+            except MemoryAccessError:
+                if not wr.inline:
+                    raise
+        kind = {
+            Opcode.SEND: "send",
+            Opcode.SEND_WITH_IMM: "send",
+            Opcode.RDMA_WRITE: "write",
+            Opcode.RDMA_WRITE_WITH_IMM: "write",
+            Opcode.RDMA_READ: "read_req",
+            Opcode.ATOMIC_FETCH_ADD: "atomic",
+            Opcode.ATOMIC_CMP_SWAP: "atomic",
+        }[wr.opcode]
+        header = HEADER_BYTES + (
+            self.profile.grh_bytes if qp.transport is Transport.UD else 0
+        )
+        msg = WireMessage(
+            kind=kind,
+            src_host=self.host_id,
+            dst_host=dst_host,
+            src_qpn=qp.qpn,
+            dst_qpn=dst_qpn,
+            transport=qp.transport.value,
+            psn=psn,
+            length=wr.length if kind != "read_req" else wr.length,
+            imm=wr.imm,
+            remote_addr=wr.remote_addr,
+            rkey=wr.rkey,
+            data=data if kind not in ("read_req", "atomic") else None,
+            token=(qp.qpn, psn),
+            meta=wr.meta,
+            atomic=(wr.opcode, wr.compare_add, wr.swap) if kind == "atomic" else None,
+            header_bytes=header,
+        )
+        if qp.transport is Transport.RC:
+            qp.outstanding[psn] = wr
+
+        wire_payload = msg.wire_bytes if kind != "read_req" else msg.header_bytes
+        self.sim.trace.emit(self.sim.now, "nic", "tx_start",
+                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
+                            psn=psn, wire_bytes=wire_payload)
+        assert self._fabric is not None
+        yield from self._fabric.transmit(self.host_id, dst_host, wire_payload, msg)
+        self.sim.trace.emit(self.sim.now, "nic", "tx_done",
+                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id, psn=psn)
+        self.counters.tx_msgs += 1
+        self.counters.tx_bytes += wire_payload
+        qp.bytes_sent += wr.length
+
+        if qp.transport is Transport.UD:
+            # UD is unacknowledged: the send completes once it is on the wire.
+            qp.sq_outstanding -= 1
+            if wr.signaled:
+                yield from self._post_cqe(
+                    qp.send_cq,
+                    CQE(wr_id=wr.wr_id, status=WCStatus.SUCCESS, opcode=wr.opcode,
+                        byte_len=wr.length, qp_num=qp.qpn),
+                )
+
+    # -- receive path -----------------------------------------------------------------
+
+    def _rx_engine(self) -> Generator["Event", object, None]:
+        while True:
+            msg = yield self._rx_store.get()
+            assert isinstance(msg, WireMessage)
+            occupancy = self.profile.rx_process_ns
+            if msg.kind in ("ack", "nak_rnr"):
+                occupancy *= ACK_RX_FRACTION
+            yield self.sim.timeout(occupancy)
+            self.sim.process(self._dispatch(msg), name=f"{self.name}.rx.msg")
+
+    def _dispatch(self, msg: WireMessage) -> Generator["Event", object, None]:
+        if msg.kind == "ip":
+            # Socket path: hand off to the kernel's IPoIB device.
+            if self.ip_handler is not None:
+                self.ip_handler(msg)
+            return
+        if msg.kind in ("ack", "nak_rnr"):
+            yield from self._handle_response(msg)
+            return
+        if msg.kind in ("read_resp", "atomic_resp"):
+            yield from self._handle_read_resp(msg)
+            return
+
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None or qp.state in (QPState.RESET, QPState.ERROR, QPState.INIT):
+            # No such QP: RC would NAK; we count and drop (benchmarks never
+            # hit this; tests assert the counter).
+            self.counters.remote_access_errors += 1
+            return
+
+        if msg.transport == "RC":
+            # Enforce per-QP PSN order at the responder.
+            if msg.psn > qp.expected_psn:
+                qp.reorder[msg.psn] = msg
+                return
+            if msg.psn < qp.expected_psn:
+                # Duplicate (e.g. retry after a lost-race); re-ack, don't redo.
+                if msg.kind in ("send", "write"):
+                    yield from self._send_ack(qp, msg, "ack")
+                return
+            if not self._accept(qp, msg):
+                # RNR-NAKed: the PSN stays expected; the retry will redeliver.
+                return
+            qp.expected_psn += 1
+            while qp.expected_psn in qp.reorder:
+                held = qp.reorder.pop(qp.expected_psn)
+                if not self._accept(qp, held):
+                    # Put it back; the initiator will retransmit this PSN.
+                    qp.reorder[qp.expected_psn] = held
+                    return
+                qp.expected_psn += 1
+        else:
+            self._accept(qp, msg)
+
+    def _accept(self, qp: QueuePair, msg: WireMessage) -> bool:
+        """Synchronous in-order acceptance of a request at the responder:
+        claims queue entries and validates keys, then spawns the timed
+        execution (DMA + CQE + ACK) concurrently so back-to-back messages
+        pipeline as on real hardware.  Returns False when RNR-NAKed."""
+        if msg.kind == "send":
+            rwr = self._claim_recv_wqe(qp)
+            if rwr is None:
+                if msg.transport == "RC":
+                    qp.rnr_naks += 1
+                    self.counters.rnr_naks_sent += 1
+                    self.sim.process(self._send_ack(qp, msg, "nak_rnr"))
+                else:
+                    self.counters.ud_drops += 1
+                return False
+            self.sim.process(self._exec_send(qp, msg, rwr), name=f"{self.name}.ex.send")
+            return True
+
+        if msg.kind == "write":
+            assert self.mr_table is not None
+            mr = self.mr_table.check_remote(
+                msg.rkey, msg.remote_addr, msg.length, write=True
+            )
+            if mr is None:
+                self.counters.remote_access_errors += 1
+                self.sim.process(
+                    self._send_ack(qp, msg, "ack", status=WCStatus.REM_ACCESS_ERR)
+                )
+                return True
+            rwr = None
+            if msg.imm is not None:
+                # WRITE_WITH_IMM consumes a recv WQE.
+                rwr = self._claim_recv_wqe(qp)
+                if rwr is None:
+                    qp.rnr_naks += 1
+                    self.counters.rnr_naks_sent += 1
+                    self.sim.process(self._send_ack(qp, msg, "nak_rnr"))
+                    return False
+            self.sim.process(
+                self._exec_write(qp, msg, mr, rwr), name=f"{self.name}.ex.write"
+            )
+            return True
+
+        if msg.kind == "read_req":
+            self.sim.process(self._exec_read_req(qp, msg), name=f"{self.name}.ex.read")
+            return True
+
+        if msg.kind == "atomic":
+            # The read-modify-write happens *now*, synchronously, in PSN
+            # acceptance order — that is what makes it atomic across
+            # concurrent initiators.  Only the response timing is async.
+            assert self.mr_table is not None
+            mr = self.mr_table.check_remote(msg.rkey, msg.remote_addr, 8, write=True)
+            if mr is None:
+                self.counters.remote_access_errors += 1
+                self.sim.process(
+                    self._send_ack(qp, msg, "ack", status=WCStatus.REM_ACCESS_ERR)
+                )
+                return True
+            offset = msg.remote_addr - mr.buffer.addr
+            original = int.from_bytes(mr.buffer.read(offset, 8), "little")
+            opcode, compare_add, swap = msg.atomic  # type: ignore[misc]
+            if opcode is Opcode.ATOMIC_FETCH_ADD:
+                newval = (original + compare_add) & (2**64 - 1)
+            else:  # CMP_SWAP
+                newval = swap if original == compare_add else original
+            mr.buffer.write(offset, newval.to_bytes(8, "little"))
+            self._notify_memory_watchers(msg.remote_addr, 8)
+            self.counters.rx_msgs += 1
+            self.counters.rx_bytes += msg.wire_bytes
+            self.sim.process(
+                self._exec_atomic_resp(qp, msg, original),
+                name=f"{self.name}.ex.atomic",
+            )
+            return True
+
+        raise HardwareError(f"unknown message kind {msg.kind!r}")  # pragma: no cover
+
+    def _claim_recv_wqe(self, qp: QueuePair):
+        """Take the next recv WQE: from the QP's SRQ if it has one."""
+        if qp.srq is not None:
+            return qp.srq.pop() if len(qp.srq) else None
+        return qp.rq.popleft() if qp.rq else None
+
+    def _exec_send(
+        self, qp: QueuePair, msg: WireMessage, rwr: RecvWR
+    ) -> Generator["Event", object, None]:
+        status = WCStatus.SUCCESS
+        if msg.length > rwr.length:
+            status = WCStatus.LOC_LEN_ERR
+        elif msg.length > 0:
+            # Payload DMA pipeline-fill; bandwidth already paid on the wire.
+            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            if msg.data is not None:
+                assert self.mr_table is not None
+                mr = self.mr_table.check_local(rwr.lkey, rwr.addr, msg.length, write=True)
+                mr.buffer.write(rwr.addr - mr.buffer.addr, msg.data)
+                self._notify_memory_watchers(rwr.addr, msg.length)
+        self.counters.rx_msgs += 1
+        self.counters.rx_bytes += msg.wire_bytes
+        yield from self._post_cqe(
+            qp.recv_cq,
+            CQE(wr_id=rwr.wr_id, status=status, opcode=Opcode.SEND,
+                byte_len=msg.length, qp_num=qp.qpn, src_qp=msg.src_qpn,
+                imm=msg.imm, data=msg.data, meta=msg.meta),
+        )
+        if msg.transport == "RC":
+            yield from self._send_ack(qp, msg, "ack")
+
+    def _exec_write(
+        self, qp: QueuePair, msg: WireMessage, mr, rwr: Optional[RecvWR]
+    ) -> Generator["Event", object, None]:
+        if msg.length > 0:
+            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            if msg.data is not None:
+                mr.buffer.write(msg.remote_addr - mr.buffer.addr, msg.data)
+            self._notify_memory_watchers(msg.remote_addr, msg.length)
+        self.counters.rx_msgs += 1
+        self.counters.rx_bytes += msg.wire_bytes
+        if rwr is not None:
+            yield from self._post_cqe(
+                qp.recv_cq,
+                CQE(wr_id=rwr.wr_id, status=WCStatus.SUCCESS,
+                    opcode=Opcode.RDMA_WRITE_WITH_IMM, byte_len=msg.length,
+                    qp_num=qp.qpn, src_qp=msg.src_qpn, imm=msg.imm,
+                    meta=msg.meta),
+            )
+        yield from self._send_ack(qp, msg, "ack")
+
+    def _exec_read_req(self, qp: QueuePair, msg: WireMessage) -> Generator["Event", object, None]:
+        assert self.mr_table is not None
+        mr = self.mr_table.check_remote(msg.rkey, msg.remote_addr, msg.length, write=False)
+        if mr is None:
+            self.counters.remote_access_errors += 1
+            yield from self._send_ack(qp, msg, "ack", status=WCStatus.REM_ACCESS_ERR)
+            return
+        data: Optional[bytes] = None
+        if msg.length > 0:
+            # Responder-side payload fetch pipeline fill.
+            yield self.sim.timeout(self.profile.dma_read_lat_ns)
+            if mr.buffer.data is not None:
+                data = mr.buffer.read(msg.remote_addr - mr.buffer.addr, msg.length)
+        resp = WireMessage(
+            kind="read_resp",
+            src_host=self.host_id,
+            dst_host=msg.src_host,
+            src_qpn=msg.dst_qpn,
+            dst_qpn=msg.src_qpn,
+            transport=msg.transport,
+            psn=msg.psn,
+            length=msg.length,
+            data=data,
+            token=msg.token,
+            header_bytes=HEADER_BYTES,
+        )
+        assert self._fabric is not None
+        yield from self._fabric.transmit(self.host_id, msg.src_host, resp.wire_bytes, resp)
+        self.counters.tx_msgs += 1
+        self.counters.tx_bytes += resp.wire_bytes
+
+    def _exec_atomic_resp(
+        self, qp: QueuePair, msg: WireMessage, original: int
+    ) -> Generator["Event", object, None]:
+        """Return the pre-op value to the initiator."""
+        yield self.sim.timeout(self.profile.ack_ns)
+        resp = WireMessage(
+            kind="atomic_resp",
+            src_host=self.host_id,
+            dst_host=msg.src_host,
+            src_qpn=msg.dst_qpn,
+            dst_qpn=msg.src_qpn,
+            transport=msg.transport,
+            psn=msg.psn,
+            length=8,
+            data=original.to_bytes(8, "little"),
+            token=msg.token,
+            header_bytes=HEADER_BYTES,
+        )
+        assert self._fabric is not None
+        yield from self._fabric.transmit(self.host_id, msg.src_host,
+                                         resp.wire_bytes, resp)
+        self.counters.tx_msgs += 1
+        self.counters.tx_bytes += resp.wire_bytes
+
+    def _handle_read_resp(self, msg: WireMessage) -> Generator["Event", object, None]:
+        """READ / atomic response at the initiator."""
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            self.counters.remote_access_errors += 1
+            return
+        _qpn, psn = msg.token  # type: ignore[misc]
+        wr = qp.outstanding.pop(psn, None)
+        if wr is None:
+            return  # stale response after QP reset
+        if msg.length > 0:
+            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            if msg.data is not None:
+                assert self.mr_table is not None
+                mr = self.mr_table.check_local(wr.lkey, wr.addr, msg.length, write=True)
+                mr.buffer.write(wr.addr - mr.buffer.addr, msg.data)
+                self._notify_memory_watchers(wr.addr, msg.length)
+        qp.sq_outstanding -= 1
+        if wr.signaled:
+            yield from self._post_cqe(
+                qp.send_cq,
+                CQE(wr_id=wr.wr_id, status=WCStatus.SUCCESS, opcode=wr.opcode,
+                    byte_len=msg.length, qp_num=qp.qpn, data=msg.data),
+            )
+
+    def _handle_response(self, msg: WireMessage) -> Generator["Event", object, None]:
+        """ACK / RNR-NAK arriving back at the initiator."""
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            return
+        _qpn, psn = msg.token  # type: ignore[misc]
+        wr = qp.outstanding.get(psn)
+        if wr is None:
+            return
+        if msg.kind == "nak_rnr":
+            retries = msg.retries
+            if retries >= qp.rnr_retries:
+                qp.outstanding.pop(psn, None)
+                qp.sq_outstanding -= 1
+                qp.modify(QPState.ERROR)
+                yield from self._post_cqe(
+                    qp.send_cq,
+                    CQE(wr_id=wr.wr_id, status=WCStatus.RNR_RETRY_EXC_ERR,
+                        opcode=wr.opcode, byte_len=wr.length, qp_num=qp.qpn),
+                )
+                return
+            self.counters.retries += 1
+            yield self.sim.timeout(RNR_DELAY_NS)
+            yield self.sim.timeout(self.profile.wqe_process_ns)
+            # Re-transmit, bumping the retry count carried back on a NAK.
+            self.sim.process(
+                self._retransmit(qp, wr, psn, retries + 1),
+                name=f"{self.name}.retry",
+            )
+            return
+        # Positive ACK.
+        status = WCStatus.REM_ACCESS_ERR if msg.imm == -1 else WCStatus.SUCCESS
+        qp.outstanding.pop(psn, None)
+        qp.sq_outstanding -= 1
+        if msg.length < 0:  # pragma: no cover - defensive
+            raise HardwareError("negative ack length")
+        if wr.signaled or status is not WCStatus.SUCCESS:
+            yield from self._post_cqe(
+                qp.send_cq,
+                CQE(wr_id=wr.wr_id, status=status, opcode=wr.opcode,
+                    byte_len=wr.length, qp_num=qp.qpn),
+            )
+
+    def _retransmit(
+        self, qp: QueuePair, wr: SendWR, psn: int, retries: int
+    ) -> Generator["Event", object, None]:
+        """Re-send a previously NAKed message, preserving its PSN."""
+        dst_host, dst_qpn = qp.destination_for(wr)
+        header = HEADER_BYTES
+        msg = WireMessage(
+            kind="send" if wr.opcode.is_send else "write",
+            src_host=self.host_id, dst_host=dst_host,
+            src_qpn=qp.qpn, dst_qpn=dst_qpn,
+            transport=qp.transport.value, psn=psn,
+            length=wr.length, imm=wr.imm,
+            remote_addr=wr.remote_addr, rkey=wr.rkey,
+            data=wr.data, token=(qp.qpn, psn),
+            meta=wr.meta, header_bytes=header, retries=retries,
+        )
+        assert self._fabric is not None
+        yield from self._fabric.transmit(self.host_id, dst_host, msg.wire_bytes, msg)
+        self.counters.tx_msgs += 1
+        self.counters.tx_bytes += msg.wire_bytes
+
+    def _send_ack(
+        self,
+        qp: QueuePair,
+        request: WireMessage,
+        kind: str,
+        status: WCStatus = WCStatus.SUCCESS,
+    ) -> Generator["Event", object, None]:
+        yield self.sim.timeout(self.profile.ack_ns)
+        ack = WireMessage(
+            kind=kind,
+            src_host=self.host_id,
+            dst_host=request.src_host,
+            src_qpn=request.dst_qpn,
+            dst_qpn=request.src_qpn,
+            transport=request.transport,
+            psn=request.psn,
+            imm=-1 if status is not WCStatus.SUCCESS else None,
+            token=request.token,
+            header_bytes=HEADER_BYTES,
+            retries=request.retries,
+        )
+        assert self._fabric is not None
+        yield from self._fabric.transmit(self.host_id, request.src_host, ack.wire_bytes, ack)
+        if kind == "ack":
+            self.counters.acks_sent += 1
+
+    # -- completion + memory watch helpers ---------------------------------------
+
+    def _post_cqe(self, cq, cqe: CQE) -> Generator["Event", object, None]:
+        """Write a CQE to host memory (timed) and push it."""
+        yield self.sim.timeout(self.profile.dma_write_lat_ns)
+        self.sim.trace.emit(self.sim.now, "nic", "cqe",
+                            host=self.host_id, wr_id=cqe.wr_id,
+                            qpn=cqe.qp_num, status=cqe.status.value,
+                            opcode=cqe.opcode.value, size=cqe.byte_len)
+        cq.push(cqe)
+
+    # Memory watchers let applications "poll on memory" (perftest write_lat
+    # detects arrival by spinning on the target buffer's last byte).
+    def _notify_memory_watchers(self, addr: int, length: int) -> None:
+        if not self._mem_watchers:
+            return
+        remaining = []
+        for (lo, hi, event) in self._mem_watchers:
+            if lo < addr + length and addr < hi and not event.triggered:
+                event.succeed(self.sim.now)
+            else:
+                remaining.append((lo, hi, event))
+        self._mem_watchers = remaining
+
+    def watch_memory(self, addr: int, length: int):
+        """Event that fires when the NIC DMA-writes into [addr, addr+len)."""
+        event = self.sim.event(name=f"{self.name}.memwatch")
+        self._mem_watchers.append((addr, addr + length, event))
+        return event

@@ -1,0 +1,275 @@
+"""Calibrated hardware parameter sets.
+
+The two shipped profiles mirror the paper's testbeds:
+
+- **System L**: 2 nodes, Intel i5-4590 (4 cores, 3.3/3.7 GHz), NVIDIA
+  ConnectX-6 Dx RoCE at 100 Gbit/s (motherboard-limited), back-to-back,
+  Linux 6.0, KPTI off, Turbo Boost off, processes pinned.
+- **System A**: 2 Azure HB120 nodes, AMD EPYC 7V73X (120 vCPUs),
+  virtualized ConnectX-6 InfiniBand at 200 Gbit/s, KPTI off, DVFS cannot
+  be disabled, syscall costs are larger and noisy (virtualization), and the
+  CoRD prototype lacks inline-message support there (paper §5, fig. 5a).
+
+Calibration anchors (paper §2 and §5):
+
+- extra memcpy costs ~140 µs/MiB         -> memcpy_bw ≈ 7.5 GB/s
+- baseline small-message bw ≈ 1.4 Gbit/s  -> per-message CPU ≈ 360 ns @64 B
+- 32 KiB send: ~370 k msg/s, CoRD degradation ~1 %
+- interrupt-driven completion adds a large, size-independent constant
+- CoRD per-op overhead ≈ 0.3–0.7 µs/side on L; larger and bimodal on A
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import gbit_per_s, gib_per_s
+
+
+@dataclass(frozen=True)
+class CpuProfile:
+    """Per-core timing parameters (all times in ns at nominal frequency)."""
+
+    name: str
+    cores: int
+    nominal_ghz: float
+    #: Max single-core turbo relative to nominal (1.0 == turbo off).
+    turbo_headroom: float
+    #: One user->kernel->user round trip for a null syscall, KPTI off.
+    syscall_ns: float
+    #: Extra cost KPTI adds to every syscall (CR3 switches + TLB effects).
+    kpti_extra_ns: float
+    #: Full context switch (schedule out + in), used on blocking waits.
+    context_switch_ns: float
+    #: Interrupt delivery to handler entry (APIC/vector dispatch).
+    irq_entry_ns: float
+    #: Interrupt handler body for a NIC completion (reap + wake).
+    irq_handler_ns: float
+    #: Cost of arming an event channel / entering epoll-style wait.
+    block_ns: float
+    #: User-level driver: build one WQE and prepare a post (ibverbs fast path).
+    post_wqe_ns: float
+    #: One ibv_poll_cq call that finds a completion (user space).
+    poll_hit_ns: float
+    #: One ibv_poll_cq call that finds nothing (user space).
+    poll_miss_ns: float
+    #: Benchmark/application loop bookkeeping per message.
+    loop_overhead_ns: float
+    #: EMA window for the DVFS duty-cycle estimate.
+    dvfs_window_ns: float = 50_000.0
+    #: Idle credit the DVFS model grants per syscall (models the observed
+    #: "system calls interact with DVFS" effect, paper §5).
+    dvfs_syscall_credit_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Host memory subsystem."""
+
+    #: Single-threaded memcpy bandwidth (bytes/ns).  7.5 GB/s -> 140 us/MiB.
+    memcpy_bw: float
+    #: Fixed cost of any copy call (function + cache setup).
+    memcpy_overhead_ns: float
+    #: Cost to pin + map one 4 KiB page at registration time.
+    page_pin_ns: float
+    page_size: int = 4096
+
+
+@dataclass(frozen=True)
+class NicProfile:
+    """ConnectX-like NIC engine parameters."""
+
+    #: Link bandwidth (bytes/ns).
+    link_bw: float
+    #: Path MTU (bytes).
+    mtu: int
+    #: Per-packet wire/NIC overhead folded into serialization (headers,
+    #: inter-frame gap, per-packet DMA descriptor work).
+    per_packet_ns: float
+    #: NIC send-engine occupancy per WQE (doorbell decode + WQE fetch + sched).
+    wqe_process_ns: float
+    #: NIC receive-engine occupancy per message.
+    rx_process_ns: float
+    #: PCIe DMA read latency (first byte) — WQE/payload fetch from host RAM.
+    dma_read_lat_ns: float
+    #: PCIe DMA write latency — payload/CQE delivery into host RAM.
+    dma_write_lat_ns: float
+    #: PCIe payload bandwidth (bytes/ns); x16 Gen3/4 outruns the link here.
+    pcie_bw: float
+    #: CPU-side MMIO doorbell write (posted, but store-buffer pressure).
+    doorbell_ns: float
+    #: Max message payload eligible for inline send (data in WQE).
+    inline_threshold: int
+    #: ACK turnaround at the responder NIC (RC reliability).
+    ack_ns: float
+    #: Send queue depth per QP.
+    sq_depth: int = 128
+    #: Receive queue depth per QP.
+    rq_depth: int = 512
+    #: UD max payload = MTU (IB spec); RC segments larger messages.
+    grh_bytes: int = 40
+    #: Interrupt moderation delay before raising a completion IRQ.
+    irq_moderation_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """A complete two-ish-node testbed description."""
+
+    name: str
+    cpu: CpuProfile
+    memory: MemoryProfile
+    nic: NicProfile
+    #: One-way wire propagation (back-to-back cable or one switch hop).
+    propagation_ns: float
+    #: KPTI enabled? (both testbeds in the paper run with it off)
+    kpti: bool
+    #: Turbo/DVFS active? (off on L, cannot be disabled on A)
+    turbo_enabled: bool
+    #: Coefficient of variation for syscall/IRQ cost jitter (virtualization).
+    syscall_jitter_cv: float
+    #: Does the CoRD kernel path support inline sends?  (Not on A, §5.)
+    cord_inline_supported: bool
+    #: Extra per-dataplane-op kernel cost in CoRD beyond the null syscall:
+    #: argument serialization + kernel-driver WQE path (paper §4: ioctl
+    #: serialization is the main tax).
+    cord_serialize_ns: float = 150.0
+    cord_kernel_driver_ns: float = 120.0
+
+    def syscall_cost(self) -> float:
+        """Mean syscall round-trip including KPTI if enabled."""
+        return self.cpu.syscall_ns + (self.cpu.kpti_extra_ns if self.kpti else 0.0)
+
+    def cord_op_cost(self) -> float:
+        """Mean extra CPU cost CoRD adds to one dataplane op (one side)."""
+        return self.syscall_cost() + self.cord_serialize_ns + self.cord_kernel_driver_ns
+
+    def with_overrides(self, **kwargs) -> "SystemProfile":
+        """A copy with selected fields replaced (for ablation benches)."""
+        return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# System L: i5-4590 + ConnectX-6 Dx RoCE @ 100 Gbit/s, back-to-back.
+# ---------------------------------------------------------------------------
+
+_CPU_L = CpuProfile(
+    name="i5-4590",
+    cores=4,
+    nominal_ghz=3.3,
+    turbo_headroom=1.09,  # 3.6/3.3 all-core turbo
+    syscall_ns=95.0,
+    kpti_extra_ns=240.0,
+    context_switch_ns=1_300.0,
+    irq_entry_ns=600.0,
+    irq_handler_ns=900.0,
+    block_ns=350.0,
+    post_wqe_ns=150.0,
+    poll_hit_ns=90.0,
+    poll_miss_ns=35.0,
+    loop_overhead_ns=60.0,
+    dvfs_syscall_credit_ns=25.0,
+)
+
+_MEM_L = MemoryProfile(
+    memcpy_bw=gib_per_s(7.0),  # ~7.0 GiB/s -> ~140 us per MiB copied
+    memcpy_overhead_ns=120.0,
+    page_pin_ns=210.0,
+)
+
+_NIC_L = NicProfile(
+    link_bw=gbit_per_s(100.0),  # motherboard-limited to 100 Gbit/s
+    mtu=4096,
+    per_packet_ns=25.0,
+    wqe_process_ns=105.0,
+    rx_process_ns=160.0,
+    dma_read_lat_ns=310.0,
+    dma_write_lat_ns=200.0,
+    pcie_bw=gib_per_s(24.0),
+    doorbell_ns=100.0,
+    inline_threshold=220,
+    ack_ns=150.0,
+)
+
+SYSTEM_L = SystemProfile(
+    name="L",
+    cpu=_CPU_L,
+    memory=_MEM_L,
+    nic=_NIC_L,
+    propagation_ns=250.0,  # back-to-back DAC + PHY
+    kpti=False,
+    turbo_enabled=False,  # paper disables Turbo Boost on L
+    syscall_jitter_cv=0.0,
+    cord_inline_supported=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# System A: Azure HB120 (EPYC 7V73X) + virtualized ConnectX-6 IB @ 200 Gbit/s.
+# ---------------------------------------------------------------------------
+
+_CPU_A = CpuProfile(
+    name="EPYC-7V73X",
+    cores=120,
+    nominal_ghz=3.0,
+    turbo_headroom=1.12,
+    syscall_ns=180.0,  # virtualized: pricier and noisy
+    kpti_extra_ns=260.0,
+    context_switch_ns=2_000.0,
+    irq_entry_ns=1_500.0,  # virtual interrupt injection
+    irq_handler_ns=1_200.0,
+    block_ns=450.0,
+    post_wqe_ns=80.0,
+    poll_hit_ns=70.0,
+    poll_miss_ns=28.0,
+    loop_overhead_ns=50.0,
+    dvfs_syscall_credit_ns=35.0,
+)
+
+_MEM_A = MemoryProfile(
+    memcpy_bw=gib_per_s(11.0),
+    memcpy_overhead_ns=90.0,
+    page_pin_ns=450.0,  # hypervisor-mediated pinning
+)
+
+_NIC_A = NicProfile(
+    link_bw=gbit_per_s(200.0),
+    mtu=4096,
+    per_packet_ns=18.0,
+    wqe_process_ns=90.0,
+    rx_process_ns=140.0,
+    dma_read_lat_ns=420.0,  # SR-IOV / longer PCIe path
+    dma_write_lat_ns=260.0,
+    pcie_bw=gib_per_s(40.0),
+    doorbell_ns=110.0,
+    inline_threshold=1024,  # extended inline segments on the virtualized path
+    ack_ns=130.0,
+)
+
+SYSTEM_A = SystemProfile(
+    name="A",
+    cpu=_CPU_A,
+    memory=_MEM_A,
+    nic=_NIC_A,
+    propagation_ns=600.0,  # one switch hop in the cloud fabric
+    kpti=False,  # hardware Meltdown mitigation; KPTI disabled
+    turbo_enabled=True,  # provider policy: DVFS cannot be disabled
+    syscall_jitter_cv=0.35,
+    cord_inline_supported=False,  # prototype lacks inline there (fig. 5a)
+    cord_serialize_ns=260.0,
+    cord_kernel_driver_ns=180.0,
+)
+
+
+#: Registry for CLI/benchmark lookup by name.
+PROFILES: dict[str, SystemProfile] = {"L": SYSTEM_L, "A": SYSTEM_A}
+
+
+def get_profile(name: str) -> SystemProfile:
+    """Look up a profile by name, raising a helpful error otherwise."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

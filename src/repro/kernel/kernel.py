@@ -1,0 +1,75 @@
+"""The per-host OS instance.
+
+Owns interrupt delivery and the IPoIB device; provides completion channels
+(the blocking, interrupt-driven way to consume CQs) and wires CQ events
+from the NIC to them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.interrupts import CompletionChannel, IrqModel
+from repro.kernel.netstack import NetstackProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.kernel.ipoib import IPoIBDevice
+    from repro.verbs.cq import CompletionQueue
+
+
+class Kernel:
+    """OS model for one host."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.sim = host.sim
+        self.irq = IrqModel(host.sim, host.system, host.host_id)
+        self._channels: dict[int, CompletionChannel] = {}
+        self._chan_seq = 0
+        self.ipoib: Optional["IPoIBDevice"] = None  # created lazily by builder
+
+    # -- completion events ---------------------------------------------------------
+
+    def attach_cq(self, cq: "CompletionQueue") -> None:
+        """Register a CQ so armed completions raise interrupts."""
+        cq.on_event = self._cq_event
+
+    def create_comp_channel(self) -> CompletionChannel:
+        self._chan_seq += 1
+        chan = CompletionChannel(
+            self.sim, self.host.system, name=f"h{self.host.host_id}.chan{self._chan_seq}"
+        )
+        return chan
+
+    def bind_cq_to_channel(self, cq: "CompletionQueue", chan: CompletionChannel) -> None:
+        self._channels[id(cq)] = chan
+
+    def _cq_event(self, cq: "CompletionQueue") -> None:
+        """NIC raised a CQ event: deliver the interrupt asynchronously.
+
+        The handler runs on (and steals cycles from) the core the waiting
+        thread is pinned to — MSI-X affinity follows the consumer.
+        """
+        chan = self._channels.get(id(cq))
+        if chan is None:
+            return  # armed but nobody listening; event is lost (as in verbs)
+
+        def irq_path():
+            yield self.sim.timeout(self.irq.delivery_delay_ns())
+            core = chan.irq_core
+            if core is not None:
+                yield from core.run(self.host.system.cpu.irq_handler_ns)
+            chan.notify(cq)
+
+        self.sim.process(irq_path(), name=f"h{self.host.host_id}.irq")
+
+    # -- sockets --------------------------------------------------------------------
+
+    def ensure_ipoib(self, profile: Optional[NetstackProfile] = None) -> "IPoIBDevice":
+        """Create the IPoIB netdevice on first use."""
+        if self.ipoib is None:
+            from repro.kernel.ipoib import IPoIBDevice
+
+            self.ipoib = IPoIBDevice(self.host, profile)
+        return self.ipoib

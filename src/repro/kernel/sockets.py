@@ -1,0 +1,124 @@
+"""Byte-stream sockets over the kernel network stack (fig. 2a).
+
+:class:`StreamSocket` layers TCP-like semantics on top of the IPoIB
+message path: a connected, reliable *byte stream* with a receive buffer,
+partial reads (``recv(n)`` may return fewer bytes), and sender blocking on
+the peer's advertised window.  This is the API shape the paper's fig. 2a
+socket dataplane exposes — contrast with the message-preserving
+:class:`~repro.kernel.ipoib.IPoIBSocket` the MPI layer uses.
+
+Costs are inherited from the underlying path: every ``send``/``recv`` is a
+syscall, payloads are copied both ways, per-packet kernel work applies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import KernelError
+from repro.hw.cpu import Core
+from repro.kernel.ipoib import IPoIBDevice, IPoIBSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+#: Max bytes moved per underlying segment send (like a TCP write chunk).
+STREAM_CHUNK = 64 * 1024
+
+
+class StreamSocket:
+    """A TCP-like stream endpoint."""
+
+    def __init__(self, device: IPoIBDevice):
+        self.device = device
+        self.sim = device.sim
+        self._inner = device.socket()
+        #: Reassembled but not-yet-consumed inbound bytes.
+        self._rx = bytearray()
+        self._rx_sizes = 0  # bytes available when payloads are size-only
+        self._peer_stream: Optional["StreamSocket"] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- connection setup -----------------------------------------------------------
+
+    def listen(self, port: int) -> None:
+        self._inner.listen(port)
+
+    def accept(self) -> Generator["Event", object, "StreamSocket"]:
+        conn_inner = yield from self._inner.accept()
+        conn = StreamSocket.__new__(StreamSocket)
+        conn.device = self.device
+        conn.sim = self.sim
+        conn._inner = conn_inner
+        conn._rx = bytearray()
+        conn._rx_sizes = 0
+        conn._peer_stream = None
+        conn.bytes_sent = 0
+        conn.bytes_received = 0
+        return conn
+
+    def connect(self, dst_host: int, port: int) -> Generator["Event", object, None]:
+        yield from self._inner.connect(dst_host, port)
+
+    # -- data path ---------------------------------------------------------------------
+
+    def send(
+        self, core: Core, data: Optional[bytes] = None, nbytes: Optional[int] = None
+    ) -> Generator["Event", object, int]:
+        """Write bytes to the stream; returns the byte count accepted.
+
+        Blocks (via the underlying credit flow control) when the peer's
+        buffer is full — TCP backpressure.
+        """
+        if data is None and nbytes is None:
+            raise KernelError("send needs data or nbytes")
+        total = len(data) if data is not None else int(nbytes)
+        if total < 0:
+            raise KernelError(f"negative send size: {total}")
+        sent = 0
+        while sent < total:
+            chunk = min(STREAM_CHUNK, total - sent)
+            payload = data[sent:sent + chunk] if data is not None else None
+            yield from self._inner.send(core, chunk, payload)
+            sent += chunk
+        self.bytes_sent += total
+        return total
+
+    def recv(
+        self, core: Core, max_bytes: int
+    ) -> Generator["Event", object, bytes]:
+        """Read up to ``max_bytes`` (at least 1) from the stream.
+
+        Returns fewer bytes than requested when that is what has arrived —
+        standard stream semantics; loop to read an exact amount.
+        """
+        if max_bytes <= 0:
+            raise KernelError(f"recv size must be positive: {max_bytes}")
+        while not self._rx and self._rx_sizes == 0:
+            _src, nbytes, payload = yield from self._inner.recv(core)
+            if payload is not None:
+                self._rx.extend(payload)
+            else:
+                self._rx_sizes += nbytes
+        if self._rx:
+            out = bytes(self._rx[:max_bytes])
+            del self._rx[:max_bytes]
+            self.bytes_received += len(out)
+            return out
+        take = min(self._rx_sizes, max_bytes)
+        self._rx_sizes -= take
+        self.bytes_received += take
+        return bytes(take)  # size-only mode: zeros stand in for payload
+
+    def recv_exact(
+        self, core: Core, nbytes: int
+    ) -> Generator["Event", object, bytes]:
+        """Loop ``recv`` until exactly ``nbytes`` have been read."""
+        parts = []
+        got = 0
+        while got < nbytes:
+            part = yield from self.recv(core, nbytes - got)
+            parts.append(part)
+            got += len(part)
+        return b"".join(parts)

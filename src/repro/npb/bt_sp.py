@@ -1,0 +1,79 @@
+"""BT and SP — block-tridiagonal / scalar-pentadiagonal solvers.
+
+Both run line solves in the three coordinate directions per iteration,
+exchanging boundary faces with the neighbours of a (near-)square process
+grid.  BT does much more compute per iteration (block 5x5 solves); SP
+iterates twice as often with lighter steps, making it simultaneously
+data- and message-intensive (paper: SP ~34 Gbit/s and ~1300 msg/s per
+process) — the second-worst IPoIB case after IS.
+"""
+
+from __future__ import annotations
+
+from repro.npb.base import FLOP_NS, NpbConfig, grid_2d, register
+
+#: Class parameters: (n, bt_niter, sp_niter).
+GRID_CLASSES = {
+    "S": (12, 60, 100),
+    "A": (64, 200, 400),
+    "B": (102, 200, 400),
+    "C": (162, 200, 400),
+    "D": (408, 250, 500),
+}
+#: Sub-stages per direction per iteration (solve + face exchange phases).
+STAGES_PER_DIR = 3
+
+
+def _make_grid_bench(cfg: NpbConfig, niter_default: int, flops_per_cell: float,
+                     name: str, face_scale: float = 1.0,
+                     stages_per_dir: int = STAGES_PER_DIR):
+    n, bt_niter, sp_niter = GRID_CLASSES[cfg.klass]
+    niter = niter_default
+    iters = cfg.effective_iters(niter)
+    rows, cols = grid_2d(cfg.ranks)
+    cells_pp = n ** 3 // cfg.ranks
+    # A face between grid neighbours: 5 variables x 8 B x (cells_pp)^(2/3).
+    face_bytes = int(5 * 8 * cells_pp ** (2.0 / 3.0) * face_scale)
+    compute_ns = cells_pp * flops_per_cell * FLOP_NS / (3 * stages_per_dir)
+
+    def program(comm):
+        size, rank = comm.size, comm.rank
+        row, col = rank // cols, rank % cols
+        # Periodic neighbours in the two grid dimensions.
+        nbrs = [
+            (row * cols + (col + 1) % cols, row * cols + (col - 1) % cols),
+            (((row + 1) % rows) * cols + col, ((row - 1) % rows) * cols + col),
+            # Third direction: diagonal shift (multi-partition flavour).
+            (((row + 1) % rows) * cols + (col + 1) % cols,
+             ((row - 1) % rows) * cols + (col - 1) % cols),
+        ]
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        for _ in range(iters):
+            for d, (fwd, bwd) in enumerate(nbrs):
+                for s in range(stages_per_dir):
+                    yield from comm.compute(compute_ns)
+                    if fwd != rank:
+                        yield from comm.sendrecv(fwd, bwd, face_bytes,
+                                                 tag=400 + d * 10 + s)
+            yield from comm.allreduce(nbytes=40)
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters
+
+
+@register("BT")
+def make_bt(cfg: NpbConfig):
+    _n, bt_niter, _sp = GRID_CLASSES[cfg.klass]
+    return _make_grid_bench(cfg, bt_niter, flops_per_cell=220.0, name="BT")
+
+
+@register("SP")
+def make_sp(cfg: NpbConfig):
+    _n, _bt, sp_niter = GRID_CLASSES[cfg.klass]
+    # SP's lighter per-step solves but wider interface regions make it
+    # simultaneously data- and message-intensive (paper: ~34 Gbit/s and
+    # ~1300 msg/s per process — second only to IS).
+    return _make_grid_bench(cfg, sp_niter, flops_per_cell=30.0, name="SP",
+                            face_scale=2.0, stages_per_dir=2)

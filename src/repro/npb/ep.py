@@ -1,0 +1,41 @@
+"""EP — embarrassingly parallel.
+
+Each rank generates its share of 2^M Gaussian pairs and tallies them; the
+only communication is three small allreduces at the very end (sx, sy, and
+the 10-bin annulus counts).  EP is the "network does not matter" control
+in fig. 6 — all three transports should tie, with CoRD allowed a hair's
+advantage from the DVFS/syscall interaction when Turbo is on (§5).
+"""
+
+from __future__ import annotations
+
+from repro.npb.base import CLASS_SCALE, FLOP_NS, NpbConfig, register
+
+#: Class A: 2^28 random pairs; ~18 flops each (2 logs, sqrt, compares).
+PAIRS_A = 1 << 28
+FLOPS_PER_PAIR = 18
+DEFAULT_ITERS = 1
+
+
+@register("EP")
+def make(cfg: NpbConfig):
+    pairs = int(PAIRS_A * CLASS_SCALE[cfg.klass])
+    iters = cfg.effective_iters(DEFAULT_ITERS)
+    compute_ns = pairs // cfg.ranks * FLOPS_PER_PAIR * FLOP_NS
+    # Keep the control benchmark's wall time moderate in simulation.
+    compute_ns = min(compute_ns, 80e6)
+
+    def program(comm):
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        for _ in range(iters):
+            # Slight deterministic imbalance, as real RNG batches have.
+            skew = 1.0 + (comm.rank % 5) * 1e-3
+            yield from comm.compute(compute_ns * skew)
+            yield from comm.allreduce(nbytes=8)   # sx
+            yield from comm.allreduce(nbytes=8)   # sy
+            yield from comm.allreduce(nbytes=80)  # q[0..9]
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters

@@ -1,0 +1,47 @@
+"""FT — 3D FFT.
+
+Each iteration performs local 1D FFTs plus one global transpose: an
+``MPI_Alltoall`` moving the rank's entire slab, N * 16 B / P per rank,
+split evenly across peers.  FT is the pure bandwidth stressor of the
+suite; per-message overheads matter little because blocks are large.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.npb.base import FLOP_NS, NpbConfig, register
+
+#: Class parameters: (nx, ny, nz, niter).
+FT_CLASSES = {
+    "S": (64, 64, 64, 6),
+    "A": (256, 256, 128, 6),
+    "B": (512, 256, 256, 20),
+    "C": (512, 512, 512, 20),
+    "D": (2048, 1024, 1024, 25),
+}
+
+
+@register("FT")
+def make(cfg: NpbConfig):
+    nx, ny, nz, niter = FT_CLASSES[cfg.klass]
+    iters = cfg.effective_iters(niter)
+    total = nx * ny * nz
+    slab_bytes = total * 16 // cfg.ranks  # complex doubles
+    block_bytes = max(slab_bytes // cfg.ranks, 16)
+    # 5 N log2 N flops spread over the ranks per iteration.
+    compute_ns = int(5 * total * math.log2(total)) // cfg.ranks * FLOP_NS
+
+    def program(comm):
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        for _ in range(iters):
+            yield from comm.compute(compute_ns)
+            yield from comm.alltoall(block_bytes)
+            yield from comm.compute(compute_ns * 0.3)
+        # Checksum reduction.
+        yield from comm.allreduce(nbytes=16)
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters

@@ -1,0 +1,49 @@
+"""IS — integer sort.  The alltoallv-heavy benchmark.
+
+Per iteration (NPB 3.x IS structure):
+
+1. local bucket counting over the rank's keys,
+2. ``MPI_Allreduce`` of the bucket histogram (NUM_BUCKETS ints),
+3. ``MPI_Alltoall`` of the per-destination key counts (one int per peer),
+4. ``MPI_Alltoallv`` redistributing the keys themselves (4 B each,
+   uniformly distributed), and
+5. local ranking of the received keys.
+
+IS is simultaneously data-intensive and message-intensive (paper §5), which
+is why it suffers most under IPoIB.
+"""
+
+from __future__ import annotations
+
+from repro.npb.base import CLASS_SCALE, FLOP_NS, NpbConfig, register
+
+#: Class A key count (NPB: 2^23), buckets 2^10.
+TOTAL_KEYS_A = 1 << 23
+NUM_BUCKETS = 1 << 10
+DEFAULT_ITERS = 10
+
+
+@register("IS")
+def make(cfg: NpbConfig):
+    total_keys = int(TOTAL_KEYS_A * CLASS_SCALE[cfg.klass])
+    keys_pp = total_keys // cfg.ranks
+    iters = cfg.effective_iters(DEFAULT_ITERS)
+    # Bucketing + ranking: a handful of ops per key, twice per iteration.
+    compute_ns = keys_pp * 6 * FLOP_NS
+    keys_bytes_pp = keys_pp * 4
+
+    def program(comm):
+        size = comm.size
+        counts = [keys_bytes_pp // size] * size
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        for _ in range(iters):
+            yield from comm.compute(compute_ns)
+            yield from comm.allreduce(nbytes=NUM_BUCKETS * 4)
+            yield from comm.alltoall(4)
+            yield from comm.alltoallv(counts)
+            yield from comm.compute(compute_ns * 0.5)
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters

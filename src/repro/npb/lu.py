@@ -1,0 +1,78 @@
+"""LU — SSOR wavefront solver.
+
+The lower/upper triangular sweeps pipeline over k-planes: each rank
+receives a thin face from its north/west neighbours, computes the plane,
+and forwards to south/east.  With k-blocking (NPB ships blocks of planes),
+this is the *many small-to-medium messages* benchmark — per-message
+overhead and latency sensitive, bandwidth light.
+"""
+
+from __future__ import annotations
+
+from repro.npb.base import FLOP_NS, NpbConfig, grid_2d, register
+
+#: Class parameters: (n, niter).
+LU_CLASSES = {
+    "S": (12, 50),
+    "A": (64, 250),
+    "B": (102, 250),
+    "C": (162, 250),
+    "D": (408, 300),
+}
+#: k-planes shipped per message (NPB default blocking).
+KBLOCK = 8
+
+
+@register("LU")
+def make(cfg: NpbConfig):
+    n, niter = LU_CLASSES[cfg.klass]
+    iters = cfg.effective_iters(niter)
+    rows, cols = grid_2d(cfg.ranks)
+    nx_loc = max(n // rows, 1)
+    ny_loc = max(n // cols, 1)
+    nz = n
+    waves = max(nz // KBLOCK, 1)
+    # 5 flow variables, 8 B each, one pencil edge per wave message.
+    face_bytes_x = 5 * 8 * ny_loc * KBLOCK
+    face_bytes_y = 5 * 8 * nx_loc * KBLOCK
+    # ~150 flops per cell per sweep pair.
+    compute_ns_plane = nx_loc * ny_loc * KBLOCK * 150 * FLOP_NS
+
+    def program(comm):
+        size, rank = comm.size, comm.rank
+        row, col = rank // cols, rank % cols
+        north = rank - cols if row > 0 else -1
+        south = rank + cols if row < rows - 1 else -1
+        west = rank - 1 if col > 0 else -1
+        east = rank + 1 if col < cols - 1 else -1
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        for _ in range(iters):
+            # Lower sweep: pipeline flows from (0,0) to (rows-1, cols-1).
+            for _w in range(waves):
+                if north >= 0:
+                    yield from comm.recv(north, tag=300)
+                if west >= 0:
+                    yield from comm.recv(west, tag=301)
+                yield from comm.compute(compute_ns_plane)
+                if south >= 0:
+                    yield from comm.send(south, face_bytes_x, tag=300)
+                if east >= 0:
+                    yield from comm.send(east, face_bytes_y, tag=301)
+            # Upper sweep: reverse direction.
+            for _w in range(waves):
+                if south >= 0:
+                    yield from comm.recv(south, tag=302)
+                if east >= 0:
+                    yield from comm.recv(east, tag=303)
+                yield from comm.compute(compute_ns_plane)
+                if north >= 0:
+                    yield from comm.send(north, face_bytes_x, tag=302)
+                if west >= 0:
+                    yield from comm.send(west, face_bytes_y, tag=303)
+            # Residual norms.
+            yield from comm.allreduce(nbytes=40)
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters

@@ -1,0 +1,61 @@
+"""MG — multigrid V-cycles on a 3D grid.
+
+Per iteration, the V-cycle touches every grid level: at each level each
+rank exchanges halos with its 6 neighbours (3 dimensions x 2 directions).
+Face sizes shrink 4x per coarsening step, so MG mixes a few large messages
+with many small ones — moderate sensitivity to both per-message cost and
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.npb.base import FLOP_NS, NpbConfig, register
+
+#: Class parameters: (grid n, niter).
+MG_CLASSES = {
+    "S": (32, 4),
+    "A": (256, 4),
+    "B": (256, 20),
+    "C": (512, 20),
+    "D": (1024, 50),
+}
+#: Stop coarsening below this local edge length.
+MIN_LOCAL = 4
+
+
+@register("MG")
+def make(cfg: NpbConfig):
+    n, niter = MG_CLASSES[cfg.klass]
+    iters = cfg.effective_iters(niter)
+    # 3D block decomposition over the nearest cube-ish factorization.
+    pdim = max(1, round(cfg.ranks ** (1.0 / 3.0)))
+    local_n = max(n // pdim, MIN_LOCAL)
+    levels = []
+    ln = local_n
+    while ln >= MIN_LOCAL:
+        levels.append(ln)
+        ln //= 2
+    # Residual/smoother: ~15 flops per cell over all levels (~8/7 * finest).
+    compute_ns = int(local_n ** 3 * 15 * 8 / 7) * FLOP_NS
+
+    def program(comm):
+        size, rank = comm.size, comm.rank
+        yield from comm.barrier()
+        t0 = comm.sim.now
+        neighbors = [(rank + d) % size for d in (1, -1, 7, -7, 13, -13)]
+        for _ in range(iters):
+            yield from comm.compute(compute_ns)
+            for ln_ in levels:
+                face_bytes = ln_ * ln_ * 8
+                for i in range(0, 6, 2):
+                    a, b = neighbors[i], neighbors[i + 1]
+                    if a == rank or b == rank:
+                        continue
+                    yield from comm.sendrecv(a, b, face_bytes, tag=200 + i)
+                    yield from comm.sendrecv(b, a, face_bytes, tag=210 + i)
+            # Coarsest-level residual norm.
+            yield from comm.allreduce(nbytes=8)
+        yield from comm.barrier()
+        return (t0, comm.sim.now, comm.engine.bytes_sent, comm.engine.msgs_sent)
+
+    return program, iters

@@ -1,0 +1,65 @@
+"""NPB execution glue: build a cluster, run a benchmark, collect results."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import build_cluster
+from repro.hw.profiles import SystemProfile, get_profile
+from repro.mpi import MpiWorld
+from repro.npb.base import NpbConfig, NpbResult, get_benchmark
+
+# Ensure all benchmark modules register themselves.
+from repro.npb import bt_sp, cg, ep, ft, is_, lu, mg  # noqa: F401
+
+DEFAULT_SUITE = ("IS", "EP", "CG", "MG", "FT", "LU", "BT", "SP")
+
+
+def run_npb(
+    config: NpbConfig,
+    transport: str = "bypass",
+    system: "SystemProfile | str" = "A",
+    hosts_n: int = 2,
+    seed: int = 11,
+) -> NpbResult:
+    """Run one benchmark on a fresh cluster; returns its timing."""
+    from repro.sim import Simulator
+
+    profile = get_profile(system) if isinstance(system, str) else system
+    sim = Simulator(seed=seed)
+    _fabric, hosts = build_cluster(sim, profile, hosts_n)
+    world = MpiWorld(sim, hosts, config.ranks, transport=transport)
+    program, iters = get_benchmark(config.name)(config)
+    results = world.run(program)
+    t0 = min(r[0] for r in results)
+    t1 = max(r[1] for r in results)
+    return NpbResult(
+        name=config.name,
+        klass=config.klass,
+        transport=transport,
+        ranks=config.ranks,
+        iterations=iters,
+        elapsed_ns=t1 - t0,
+        bytes_sent_total=sum(r[2] for r in results),
+        msgs_sent_total=sum(r[3] for r in results),
+    )
+
+
+def run_suite(
+    names=DEFAULT_SUITE,
+    transports=("bypass", "cord", "ipoib"),
+    klass: str = "B",
+    ranks: int = 32,
+    iter_scale: float = 0.1,
+    system: str = "A",
+    iterations: Optional[int] = None,
+) -> dict[str, dict[str, NpbResult]]:
+    """The fig. 6 grid: benchmark x transport -> result."""
+    out: dict[str, dict[str, NpbResult]] = {}
+    for name in names:
+        cfg = NpbConfig(name=name, klass=klass, ranks=ranks,
+                        iterations=iterations, iter_scale=iter_scale)
+        out[name] = {}
+        for transport in transports:
+            out[name][transport] = run_npb(cfg, transport=transport, system=system)
+    return out

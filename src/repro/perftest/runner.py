@@ -1,0 +1,145 @@
+"""Configuration glue: build a testbed, run one perftest, sweep sizes.
+
+Every measurement gets a *fresh* simulator seeded from the config, so runs
+are independent and reproducible — exactly like re-running the real
+perftest binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator, Optional
+
+from repro.cluster import build_pair
+from repro.core.endpoint import Endpoint, make_rc_pair, make_ud_pair
+from repro.core.policy import PolicyChain
+from repro.errors import ConfigError
+from repro.hw.profiles import SystemProfile, get_profile
+from repro.perftest.bw import BwResult, read_bw, send_bw, write_bw
+from repro.perftest.lat import LatencyResult, read_lat, send_lat, write_lat
+from repro.perftest.techniques import Techniques
+from repro.sim import Simulator
+
+OPS = ("send", "read", "write")
+TRANSPORTS = ("RC", "UD")
+
+
+@dataclass(frozen=True)
+class PerftestConfig:
+    """One perftest invocation's parameters."""
+
+    system: str = "L"
+    transport: str = "RC"
+    op: str = "send"
+    client: str = "bypass"  # dataplane kind on the initiating side
+    server: str = "bypass"
+    techniques: Techniques = field(default_factory=Techniques)
+    iters: int = 200
+    warmup: int = 20
+    window: int = 128
+    seed: int = 7
+    buf_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ConfigError(f"op must be one of {OPS}, got {self.op!r}")
+        if self.transport not in TRANSPORTS:
+            raise ConfigError(f"transport must be in {TRANSPORTS}")
+        if self.transport == "UD" and self.op != "send":
+            raise ConfigError("UD supports only send/recv (no one-sided ops)")
+
+    @property
+    def profile(self) -> SystemProfile:
+        return get_profile(self.system)
+
+    @property
+    def label(self) -> str:
+        return f"{self.transport}-{self.op} {self.client[:2].upper()}->{self.server[:2].upper()}"
+
+    def with_(self, **kwargs) -> "PerftestConfig":
+        return replace(self, **kwargs)
+
+
+def _build(
+    config: PerftestConfig,
+    policies_client: Optional[PolicyChain] = None,
+    policies_server: Optional[PolicyChain] = None,
+) -> tuple[Simulator, Endpoint, Endpoint]:
+    sim = Simulator(seed=config.seed)
+    _fabric, host_a, host_b = build_pair(sim, config.profile)
+    holder: dict[str, tuple[Endpoint, Endpoint]] = {}
+
+    def setup() -> Generator:
+        if config.transport == "RC":
+            pair = yield from make_rc_pair(
+                host_a, host_b, config.client, config.server,
+                policies_a=policies_client, policies_b=policies_server,
+                buf_bytes=config.buf_bytes,
+            )
+        else:
+            pair = yield from make_ud_pair(
+                host_a, host_b, config.client, config.server,
+                policies_a=policies_client, policies_b=policies_server,
+                buf_bytes=config.buf_bytes,
+            )
+        holder["pair"] = pair
+
+    sim.run(sim.process(setup()))
+    client, server = holder["pair"]
+    return sim, client, server
+
+
+_LAT_FUNCS: dict[str, Callable] = {"send": send_lat, "read": read_lat, "write": write_lat}
+_BW_FUNCS: dict[str, Callable] = {"send": send_bw, "read": read_bw, "write": write_bw}
+
+
+def run_lat(config: PerftestConfig, size: int) -> LatencyResult:
+    """One latency measurement at one message size."""
+    sim, client, server = _build(config)
+    func = _LAT_FUNCS[config.op]
+
+    def main() -> Generator:
+        result = yield from func(
+            sim, client, server, size,
+            iters=config.iters, warmup=config.warmup,
+            techniques=config.techniques,
+        )
+        return result
+
+    return sim.run(sim.process(main()))
+
+
+def run_bw(config: PerftestConfig, size: int) -> BwResult:
+    """One bandwidth measurement at one message size."""
+    sim, client, server = _build(config)
+    func = _BW_FUNCS[config.op]
+
+    def main() -> Generator:
+        result = yield from func(
+            sim, client, server, size,
+            iters=config.iters, window=config.window, warmup=config.warmup,
+            techniques=config.techniques,
+        )
+        return result
+
+    return sim.run(sim.process(main()))
+
+
+def sweep_lat(config: PerftestConfig, sizes: list[int]) -> list[LatencyResult]:
+    return [run_lat(config, size) for size in sizes]
+
+
+def sweep_bw(config: PerftestConfig, sizes: list[int]) -> list[BwResult]:
+    return [run_bw(config, size) for size in sizes]
+
+
+def default_sizes(
+    max_bytes: int = 8 * 1024 * 1024, min_bytes: int = 2
+) -> list[int]:
+    """perftest's power-of-two size ladder."""
+    sizes = []
+    size = min_bytes
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes

@@ -1,0 +1,162 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and the pending-event heap.  Events are
+ordered by ``(time, priority, sequence)`` so same-time events process in
+deterministic FIFO order within a priority class — determinism is a hard
+requirement because hardware profiles carry seeded jitter and benchmark
+results must be exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace
+
+
+class _EmptySchedule(Exception):
+    """Internal: the event heap ran dry."""
+
+
+class Simulator:
+    """Discrete-event simulator with nanosecond float time.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry`; every named
+        stream is derived from it, so one integer pins the entire run.
+    trace:
+        Optional pre-built :class:`~repro.sim.trace.Trace`; a disabled one is
+        created by default (zero overhead when off).
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Trace] = None):
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Trace(enabled=False)
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None outside process context)."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None, name: str = "") -> Timeout:
+        """Create a timeout firing ``delay`` ns from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Spawn a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        """Insert a triggered event into the queue ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise _EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody waited for: surface it instead of losing it.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None`` — run until no events remain;
+        - a number — run until the clock reaches that time;
+        - an :class:`Event` — run until the event is processed and return its
+          value (raising its exception if it failed).
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value  # type: ignore[misc]
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event.defuse()
+                raise stop_event._value  # type: ignore[misc]
+            if self.peek() > deadline:
+                self._now = deadline if deadline != float("inf") else self._now
+                return None
+            try:
+                self.step()
+            except _EmptySchedule:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "run() stop event will never be triggered: no events left"
+                    ) from None
+                return None
+
+    def run_until_idle(self) -> None:
+        """Drain every pending event (alias of ``run(None)`` for readability)."""
+        self.run(None)

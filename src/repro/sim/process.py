@@ -1,0 +1,155 @@
+"""Generator-based cooperative processes.
+
+A process wraps a generator that ``yield``-s :class:`~repro.sim.events.Event`
+instances.  When the yielded event is processed, the process resumes with the
+event's value (or has the event's exception thrown into it).  A process is
+itself an event, so other processes can wait for ("join") it, and its return
+value (``return x`` in the generator) becomes the event value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class Initialize(Event):
+    """Internal event that kicks a new process on its first step."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim, name=f"init:{process.name}")
+        self.process = process
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT, 0.0)
+
+
+class Interruption(Event):
+    """Internal immediate event carrying a :class:`ProcessInterrupt`."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: object):
+        super().__init__(process.sim, name=f"interrupt:{process.name}")
+        if process.processed:
+            raise SimulationError(f"{process!r} has terminated; cannot interrupt")
+        if process is process.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self._ok = False
+        self._value = ProcessInterrupt(cause)
+        self._defused = True
+        self.callbacks.append(self._deliver)
+        process.sim._schedule(self, URGENT, 0.0)
+
+    def _deliver(self, event: Event) -> None:
+        process = self.process
+        if process.processed:
+            return  # terminated between scheduling and delivery
+        # Detach the process from whatever it currently waits on, then resume
+        # it with the interrupt exception.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._target = None
+        process._resume(self)
+
+
+class Process(Event):
+    """A running simulation process (also usable as a join event)."""
+
+    __slots__ = ("generator", "_target", "is_alive_flag")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the wrapped generator has terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None while running)."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process immediately."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        sim = self.sim
+        sim._active_process = self
+        exception: Optional[BaseException] = None
+        while True:
+            try:
+                if event is None or event._ok:
+                    value = None if event is None else event._value
+                    next_event = self.generator.send(value)
+                else:
+                    event._defused = True
+                    assert isinstance(event._value, BaseException)
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as stop:
+                sim._active_process = None
+                self._ok = True
+                self._value = stop.value
+                sim._schedule(self, URGENT, 0.0)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process crashed
+                sim._active_process = None
+                self._ok = False
+                self._value = exc
+                sim._schedule(self, URGENT, 0.0)
+                return
+
+            if not isinstance(next_event, Event):
+                exception = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(sim)
+                event._ok = False
+                event._value = exception
+                event._defused = True
+                continue
+            if next_event.sim is not sim:
+                exception = SimulationError(
+                    f"process {self.name!r} yielded an event from another simulator"
+                )
+                event = Event(sim)
+                event._ok = False
+                event._value = exception
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park until it is.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                sim._active_process = None
+                return
+            # Already processed: feed its outcome straight back in.
+            event = next_event
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

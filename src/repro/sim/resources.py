@@ -1,0 +1,157 @@
+"""Capacity-limited resources.
+
+Used for CPU cores (capacity 1 per core), NIC execution units, IRQ lines
+and the like.  A request is an event that succeeds when a slot is granted::
+
+    req = core.request()
+    yield req
+    try:
+        yield sim.timeout(busy_time)
+    finally:
+        core.release(req)
+
+Requests also work as context managers for the common acquire/release
+bracket (``with resource.request() as req: yield req``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        self._order = resource._next_order()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def __lt__(self, other: "Request") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class Resource:
+    """FIFO resource with integer capacity."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._order_seq = 0
+        # Utilization accounting: busy integral for average-occupancy stats.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    def _next_order(self) -> int:
+        self._order_seq += 1
+        return self._order_seq
+
+    # -- accounting ------------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average fraction of capacity busy since ``since`` (default t=0)."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    # -- protocol ---------------------------------------------------------------
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event succeeds when granted."""
+        req = Request(self, priority=priority)
+        self._account()
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self.queue.pop(0) if self.queue else None
+
+    def release(self, req: Request) -> None:
+        """Return a slot.  Releasing a queued (ungranted) request cancels it."""
+        self._account()
+        if req in self.users:
+            self.users.remove(req)
+            nxt = self._dequeue()
+            if nxt is not None:
+                self.users.append(nxt)
+                nxt.succeed(nxt)
+        else:
+            self._cancel(req)
+
+    def _cancel(self, req: Request) -> None:
+        try:
+            self.queue.remove(req)
+        except ValueError:
+            raise SimulationError(
+                f"release of {req!r} that neither holds nor waits for {self.name}"
+            ) from None
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by (priority, FIFO).
+
+    Lower priority values are served first, matching SimPy convention.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "presource"):
+        super().__init__(sim, capacity=capacity, name=name)
+        self._heap: list[Request] = []
+
+    def _enqueue(self, req: Request) -> None:
+        heapq.heappush(self._heap, req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def _cancel(self, req: Request) -> None:
+        try:
+            self._heap.remove(req)
+            heapq.heapify(self._heap)
+        except ValueError:
+            raise SimulationError(
+                f"release of {req!r} that neither holds nor waits for {self.name}"
+            ) from None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)

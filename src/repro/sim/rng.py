@@ -1,0 +1,64 @@
+"""Named, seeded random-number streams.
+
+Components draw jitter from their *own* stream (``sim.rng.stream("nic0")``)
+derived deterministically from the master seed and the stream name.  Adding
+a new randomized component therefore never perturbs the draws — and thus the
+results — of existing components, which keeps calibrated benchmarks stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RngRegistry:
+    """Registry of independent ``numpy.random.Generator`` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode("utf-8")
+            ).digest()
+            seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(seed)
+            self._streams[name] = gen
+        return gen
+
+    def reset(self) -> None:
+        """Drop all streams; they re-derive from the master seed on next use."""
+        self._streams.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RngRegistry seed={self.master_seed} streams={sorted(self._streams)}>"
+
+
+def lognormal_jitter(
+    rng: np.random.Generator, mean: float, cv: float
+) -> float:
+    """Draw a lognormal value with the given mean and coefficient of variation.
+
+    Used for virtualized-system cost models (system *A*) where syscall and
+    interrupt costs are noisy with a heavy right tail.  ``cv == 0`` returns
+    ``mean`` exactly (and draws nothing), so profiles with no jitter stay
+    deterministic even if a stream exists.
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    if mean == 0 or cv == 0:
+        return mean
+    sigma2 = np.log(1.0 + cv * cv)
+    mu = np.log(mean) - sigma2 / 2.0
+    return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))

@@ -1,0 +1,151 @@
+"""FIFO stores — the queues of the simulated world.
+
+Work queues, completion queues, socket receive buffers and MPI unexpected-
+message queues are all stores: producers ``put`` items (optionally bounded),
+consumers ``get`` them, and both sides block on events when the store is
+full/empty.  :class:`FilterStore` additionally lets a consumer wait for the
+first item matching a predicate (used for tag matching in MPI).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: object):
+        super().__init__(store.sim, name=f"put:{store.name}")
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filt: Optional[Callable[[object], bool]] = None):
+        super().__init__(store.sim, name=f"get:{store.name}")
+        self.filter = filt
+
+
+class Store:
+    """Unbounded-or-bounded FIFO store of arbitrary items."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        name: str = "store",
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[object] = deque()
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+        #: High-water mark, useful for sizing assertions in tests.
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- operations ---------------------------------------------------------------
+
+    def put(self, item: object) -> StorePut:
+        """Insert ``item``; the returned event succeeds once it is stored."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event's value is the item."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Optional[object]:
+        """Non-blocking get: pop and return the oldest item, or ``None``.
+
+        Only valid when no getter is parked (otherwise it would steal).
+        """
+        if self._getters:
+            raise SimulationError(f"try_get on {self.name} with parked getters")
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return item
+        return None
+
+    def peek(self) -> Optional[object]:
+        """Oldest item without removing it, or ``None``."""
+        return self.items[0] if self.items else None
+
+    # -- matching engine --------------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Move queued puts into storage while capacity allows."""
+        while self._putters and len(self.items) < self.capacity:
+            put = self._putters.popleft()
+            self.items.append(put.item)
+            put.succeed(put.item)
+        self.max_occupancy = max(self.max_occupancy, len(self.items))
+
+    def _serve(self) -> None:
+        """Hand stored items to waiting getters (FIFO on both sides)."""
+        while self._getters and self.items:
+            get = self._getters.popleft()
+            get.succeed(self.items.popleft())
+
+    def _dispatch(self) -> None:
+        # Admission can unblock getters and vice versa; loop to fixpoint.
+        before = -1
+        while before != (len(self.items), len(self._putters), len(self._getters)):
+            before = (len(self.items), len(self._putters), len(self._getters))
+            self._admit()
+            self._serve()
+
+
+class FilterStore(Store):
+    """Store whose getters may wait for the first item matching a predicate."""
+
+    def get(self, filt: Optional[Callable[[object], bool]] = None) -> StoreGet:  # type: ignore[override]
+        event = StoreGet(self, filt)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self, filt: Optional[Callable[[object], bool]] = None) -> Optional[object]:  # type: ignore[override]
+        if self._getters:
+            raise SimulationError(f"try_get on {self.name} with parked getters")
+        for idx, item in enumerate(self.items):
+            if filt is None or filt(item):
+                del self.items[idx]  # type: ignore[arg-type]
+                self._dispatch()
+                return item
+        return None
+
+    def _serve(self) -> None:
+        served = True
+        while served:
+            served = False
+            for gi, get in enumerate(self._getters):
+                for ii, item in enumerate(self.items):
+                    if get.filter is None or get.filter(item):
+                        del self.items[ii]  # type: ignore[arg-type]
+                        del self._getters[gi]
+                        get.succeed(item)
+                        served = True
+                        break
+                if served:
+                    break

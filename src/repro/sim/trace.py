@@ -1,0 +1,108 @@
+"""Structured tracing and counters.
+
+Tracing exists for two consumers: tests (assert that a component emitted the
+expected sequence of records) and the observability CoRD policy (flow
+statistics).  The trace is disabled by default and costs a single branch per
+call site when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced happening."""
+
+    time: float
+    category: str
+    event: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def asdict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "time": self.time,
+            "category": self.category,
+            "event": self.event,
+        }
+        out.update(dict(self.fields))
+        return out
+
+
+class Trace:
+    """An append-only trace with category filtering."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[set[str]] = None):
+        self.enabled = enabled
+        #: If non-None, only these categories are recorded.
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+        #: Optional live subscribers (e.g. observability policy exporters).
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, event: str, **fields: object) -> None:
+        """Record an event if tracing is on and the category passes the filter."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        record = TraceRecord(time, category, event, tuple(sorted(fields.items())))
+        self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def select(self, category: Optional[str] = None, event: Optional[str] = None) -> list[TraceRecord]:
+        """Records matching the given category and/or event name."""
+        return [
+            r
+            for r in self.records
+            if (category is None or r.category == category)
+            and (event is None or r.event == event)
+        ]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter with byte/op accounting."""
+
+    name: str
+    ops: int = 0
+    bytes: int = 0
+    _by_key: dict[str, int] = field(default_factory=dict)
+
+    def add(self, nbytes: int = 0, key: Optional[str] = None) -> None:
+        self.ops += 1
+        self.bytes += nbytes
+        if key is not None:
+            self._by_key[key] = self._by_key.get(key, 0) + 1
+
+    def by_key(self, key: str) -> int:
+        return self._by_key.get(key, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "ops": self.ops,
+            "bytes": self.bytes,
+            "by_key": dict(self._by_key),
+        }

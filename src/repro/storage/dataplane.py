@@ -1,0 +1,190 @@
+"""Storage dataplanes: SPDK-style bypass, CoRD interposition, kernel block.
+
+The exact structural analogue of :mod:`repro.core.dataplane`:
+
+=============== ==========================================================
+SpdkDataplane    user-space SQE build + doorbell; user-space CQ polling
+CordStorage      identical fast path, but submit/poll are system calls and
+                 a storage policy chain runs in the kernel
+KernelBlock      the classic path: syscall + block-layer per-IO work +
+                 interrupt-driven completion (no polling, one IO per call)
+=============== ==========================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hw.cpu import Core
+from repro.hw.profiles import SystemProfile
+from repro.storage.device import IoCommand, NvmeDevice
+from repro.storage.policies import IoOpContext, StoragePolicyChain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+#: User-space SQE build + doorbell (SPDK-grade fast path).
+SUBMIT_CPU_NS = 140.0
+#: One CQ poll (hit / miss) in user space.
+POLL_HIT_NS = 80.0
+POLL_MISS_NS = 30.0
+#: Kernel block-layer per-IO work (bio alloc, plug, scheduler, blk-mq map).
+BLOCK_LAYER_NS = 2_800.0
+
+_cmd_ids = itertools.count(1)
+
+
+def make_command(op: str, lba: int, nbytes: int, tenant: str = "default") -> IoCommand:
+    return IoCommand(cmd_id=next(_cmd_ids), op=op, lba=lba, nbytes=nbytes,
+                     tenant=tenant)
+
+
+class StorageDataplane:
+    """Common interface: submit / poll / wait."""
+
+    tag = "??"
+
+    def __init__(self, device: NvmeDevice, core: Core, system: SystemProfile,
+                 tenant: str = "default"):
+        self.device = device
+        self.core = core
+        self.system = system
+        self.sim = device.sim
+        self.tenant = tenant
+        self.qp = device.create_qp()
+        self.submitted = 0
+        self.polls = 0
+
+    def submit(self, cmd: IoCommand) -> Generator["Event", object, None]:
+        raise NotImplementedError
+
+    def poll(self, max_entries: int = 16) -> Generator["Event", object, list[IoCommand]]:
+        raise NotImplementedError
+
+    def wait(self, max_entries: int = 16) -> Generator["Event", object, list[IoCommand]]:
+        """Block (by polling) until at least one completion, then reap."""
+        ready = self.qp.wait_nonempty()
+        if not ready.processed:
+            yield from self.core.busy_poll(ready, 0.0)
+        cmds = yield from self.poll(max_entries)
+        return cmds
+
+    def run_io(self, cmd: IoCommand) -> Generator["Event", object, IoCommand]:
+        """Submit one command and wait for its completion (QD=1 helper)."""
+        yield from self.submit(cmd)
+        while True:
+            done = yield from self.wait()
+            for c in done:
+                if c.cmd_id == cmd.cmd_id:
+                    return c
+
+
+class SpdkDataplane(StorageDataplane):
+    """User-level storage dataplane (kernel bypass — SPDK style)."""
+
+    tag = "SPDK"
+
+    def submit(self, cmd: IoCommand) -> Generator["Event", object, None]:
+        cmd.tenant = self.tenant
+        yield from self.core.run(SUBMIT_CPU_NS)
+        self.device.hw_submit(self.qp, cmd)
+        self.submitted += 1
+
+    def poll(self, max_entries: int = 16) -> Generator["Event", object, list[IoCommand]]:
+        cmds = self.qp.cq_pop(max_entries)
+        yield from self.core.run(POLL_HIT_NS if cmds else POLL_MISS_NS)
+        self.polls += 1
+        return cmds
+
+
+class CordStorageDataplane(StorageDataplane):
+    """CoRD applied to storage: submit/poll interposed by the kernel."""
+
+    tag = "CoRD"
+
+    def __init__(self, device: NvmeDevice, core: Core, system: SystemProfile,
+                 policies: Optional[StoragePolicyChain] = None,
+                 tenant: str = "default"):
+        super().__init__(device, core, system, tenant)
+        self.policies = policies or StoragePolicyChain()
+        self.denied = 0
+
+    def _interpose(self, ctx: IoOpContext, fast_ns: float) -> Generator["Event", object, None]:
+        from repro.errors import PolicyViolation
+
+        try:
+            policy_ns = self.policies.evaluate(ctx)
+        except PolicyViolation:
+            self.denied += 1
+            yield from self.core.syscall(self.system.cord_serialize_ns)
+            raise
+        yield from self.core.syscall(
+            self.system.cord_serialize_ns + self.system.cord_kernel_driver_ns
+            + policy_ns + fast_ns
+        )
+
+    def submit(self, cmd: IoCommand) -> Generator["Event", object, None]:
+        cmd.tenant = self.tenant
+        ctx = IoOpContext(now=self.sim.now, op="submit", cmd=cmd, tenant=self.tenant)
+        yield from self._interpose(ctx, SUBMIT_CPU_NS)
+        self.device.hw_submit(self.qp, cmd)
+        self.submitted += 1
+
+    def poll(self, max_entries: int = 16) -> Generator["Event", object, list[IoCommand]]:
+        ctx = IoOpContext(now=self.sim.now, op="poll", tenant=self.tenant)
+        cmds = self.qp.cq_pop(max_entries)
+        yield from self._interpose(ctx, POLL_HIT_NS if cmds else POLL_MISS_NS)
+        self.polls += 1
+        return cmds
+
+
+class KernelBlockDataplane(StorageDataplane):
+    """The traditional blocking block-layer path (pread/pwrite-like).
+
+    One IO per call: syscall, block-layer work, sleep, interrupt, wake.
+    The storage-world analogue of the socket stack in fig. 2a.
+    """
+
+    tag = "BLK"
+
+    def __init__(self, device: NvmeDevice, core: Core, system: SystemProfile,
+                 tenant: str = "default"):
+        super().__init__(device, core, system, tenant)
+        self._pending: dict[int, "Event"] = {}
+        self.qp.on_completion = self._irq_completion
+
+    def _irq_completion(self, cmd: IoCommand) -> None:
+        ev = self._pending.pop(cmd.cmd_id, None)
+        if ev is not None:
+            delay = (self.system.cpu.irq_entry_ns + self.system.cpu.irq_handler_ns)
+            t = self.sim.timeout(delay)
+            t.callbacks.append(lambda _e: ev.succeed(cmd))
+
+    def submit(self, cmd: IoCommand) -> Generator["Event", object, None]:
+        # Blocking API: submit() performs the whole IO.
+        done = yield from self.run_io(cmd)
+        assert done.cmd_id == cmd.cmd_id
+
+    def poll(self, max_entries: int = 16) -> Generator["Event", object, list[IoCommand]]:
+        cmds = self.qp.cq_pop(max_entries)
+        yield from self.core.run(POLL_HIT_NS if cmds else POLL_MISS_NS)
+        return cmds
+
+    def run_io(self, cmd: IoCommand) -> Generator["Event", object, IoCommand]:
+        cmd.tenant = self.tenant
+        ev = self.sim.event(name=f"blkio{cmd.cmd_id}")
+        self._pending[cmd.cmd_id] = ev
+        # Syscall entry + block-layer submission work.
+        yield from self.core.syscall(BLOCK_LAYER_NS + SUBMIT_CPU_NS)
+        self.device.hw_submit(self.qp, cmd)
+        self.submitted += 1
+        # Sleep until the interrupt wakes us; then the context switch back.
+        yield ev
+        yield from self.core.run(self.system.cpu.context_switch_ns)
+        # Reap our completion from the CQ.
+        while True:
+            done = yield from self.poll()
+            for c in done:
+                if c.cmd_id == cmd.cmd_id:
+                    return c

@@ -1,0 +1,48 @@
+"""ibverbs-style RDMA stack.
+
+Mirrors the structure of the real ibverbs API (paper §4): control-plane
+objects (device context, protection domains, memory regions, queue pairs,
+completion queues) are created through the kernel (ioctl-modelled costs);
+data-plane operations (``post_send``/``post_recv``/``poll_cq``) go through a
+:mod:`repro.core.dataplane` which is where bypass and CoRD differ.
+
+Public surface:
+
+- :class:`~repro.verbs.device.Device` / :class:`~repro.verbs.device.Context`
+- :class:`~repro.verbs.pd.ProtectionDomain`
+- :class:`~repro.verbs.mr.MemoryRegionV` (+ access flags)
+- :class:`~repro.verbs.cq.CompletionQueue`
+- :class:`~repro.verbs.qp.QueuePair` (RC and UD)
+- :mod:`~repro.verbs.wr` — work requests, completions, opcodes
+"""
+
+from repro.verbs.wr import (
+    CQE,
+    AccessFlags,
+    Opcode,
+    RecvWR,
+    SendWR,
+    WCStatus,
+)
+from repro.verbs.mr import MemoryRegionV
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.pd import ProtectionDomain
+from repro.verbs.qp import QueuePair, QPState, Transport
+from repro.verbs.device import Context, Device
+
+__all__ = [
+    "Opcode",
+    "WCStatus",
+    "AccessFlags",
+    "SendWR",
+    "RecvWR",
+    "CQE",
+    "MemoryRegionV",
+    "CompletionQueue",
+    "ProtectionDomain",
+    "QueuePair",
+    "QPState",
+    "Transport",
+    "Device",
+    "Context",
+]

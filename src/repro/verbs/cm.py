@@ -1,0 +1,112 @@
+"""Connection manager: rdma_cm-style connection establishment.
+
+Real RDMA applications rarely exchange QPNs by hand; they use librdmacm's
+listen/connect with a REQ → REP → RTU handshake carried over the fabric.
+This module models that: a :class:`CmListener` binds a service id on a
+host, :func:`cm_connect` performs the three-way handshake (each leg pays
+wire time + a control-plane transition at the receiver) and returns a
+fully connected endpoint pair, like ``rdma_connect``/``rdma_accept``.
+
+The endpoint setup helpers in :mod:`repro.core.endpoint` remain available
+for tests that want instant wiring; the CM is the realistic path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import KernelError
+from repro.sim.store import Store
+from repro.verbs.qp import QPState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.core.endpoint import Endpoint
+    from repro.sim.events import Event
+
+#: Kernel CM processing per handshake leg (event channel + id bookkeeping).
+CM_LEG_KERNEL_NS = 1_500.0
+
+#: Cluster-wide service registry: (host_id, service_id) -> CmListener.
+_registry: dict[tuple[int, int], "CmListener"] = {}
+
+
+def reset_registry() -> None:
+    """Clear the service registry (test isolation)."""
+    _registry.clear()
+
+
+@dataclass
+class _ConnReq:
+    """A REQ in flight: who is asking, and how to tell them the answer."""
+
+    client_addr: tuple[int, int]  # (host_id, qpn)
+    reply_event: "Event"
+
+
+class CmListener:
+    """``rdma_listen`` analogue bound to (host, service_id)."""
+
+    def __init__(self, host: "Host", service_id: int):
+        key = (host.host_id, service_id)
+        if key in _registry:
+            raise KernelError(
+                f"service {service_id} already listening on host {host.host_id}"
+            )
+        self.host = host
+        self.service_id = service_id
+        self._reqs: Store = Store(host.sim, name=f"cm:{key}")
+        _registry[key] = self
+
+    def accept(
+        self, endpoint: "Endpoint"
+    ) -> Generator["Event", object, tuple[int, int]]:
+        """Wait for a REQ, connect ``endpoint`` to the caller, send REP.
+
+        Returns the client's (host_id, qpn).  ``rdma_accept`` analogue.
+        """
+        req = yield self._reqs.get()
+        assert isinstance(req, _ConnReq)
+        # Server-side transition to RTR/RTS against the client's QP.
+        yield from endpoint.core.run(CM_LEG_KERNEL_NS)
+        yield from endpoint.ctx.connect_qp(endpoint.qp, req.client_addr)
+        # REP travels back one propagation delay; client finishes on it.
+        sim = self.host.sim
+        rep = sim.timeout(self.host.fabric.propagation_ns)
+        rep.callbacks.append(
+            lambda _ev: req.reply_event.succeed(endpoint.addr)
+        )
+        return req.client_addr
+
+    def close(self) -> None:
+        _registry.pop((self.host.host_id, self.service_id), None)
+
+
+def cm_connect(
+    endpoint: "Endpoint", dst_host_id: int, service_id: int
+) -> Generator["Event", object, tuple[int, int]]:
+    """``rdma_connect`` analogue: REQ -> (server accept) -> REP -> RTU.
+
+    Blocks until the connection is established; returns the server's
+    (host_id, qpn).
+    """
+    listener = _registry.get((dst_host_id, service_id))
+    if listener is None:
+        raise KernelError(
+            f"no listener at host {dst_host_id} service {service_id}"
+        )
+    sim = endpoint.sim
+    # REQ: client-side CM work + one propagation to the server.
+    yield from endpoint.core.syscall(CM_LEG_KERNEL_NS)
+    reply = sim.event(name=f"cm.rep:{service_id}")
+    req = _ConnReq(client_addr=endpoint.addr, reply_event=reply)
+    deliver = sim.timeout(endpoint.host.fabric.propagation_ns)
+    deliver.callbacks.append(lambda _ev: listener._reqs.put(req))
+    # Wait for the REP carrying the server's QPN.
+    server_addr = yield reply
+    # Client transitions its QP and sends the RTU (fire-and-forget).
+    yield from endpoint.core.run(CM_LEG_KERNEL_NS)
+    if endpoint.qp.state is not QPState.RTS:
+        yield from endpoint.ctx.connect_qp(endpoint.qp, server_addr)
+    return server_addr  # type: ignore[return-value]

@@ -1,0 +1,42 @@
+"""Protection domains.
+
+A PD groups MRs and QPs; a QP may only use MRs from its own PD.  In the
+simulation this is enforced at post time (local keys) and at the responder
+NIC (remote keys), mirroring real hardware checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import VerbsError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.device import Context
+    from repro.verbs.mr import MemoryRegionV
+    from repro.verbs.qp import QueuePair
+
+
+class ProtectionDomain:
+    """``ibv_pd`` analogue."""
+
+    _next_handle = 1
+
+    def __init__(self, context: "Context"):
+        self.context = context
+        self.handle = ProtectionDomain._next_handle
+        ProtectionDomain._next_handle += 1
+        self.mrs: list["MemoryRegionV"] = []
+        self.qps: list["QueuePair"] = []
+
+    def owns_mr(self, mr: "MemoryRegionV") -> bool:
+        return mr.pd is self
+
+    def check_mr(self, mr: "MemoryRegionV") -> None:
+        if not self.owns_mr(mr):
+            raise VerbsError(
+                f"MR lkey={mr.lkey:#x} belongs to PD {mr.pd.handle}, not {self.handle}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PD {self.handle} mrs={len(self.mrs)} qps={len(self.qps)}>"

@@ -1,0 +1,193 @@
+"""Queue pairs: RC and UD transports with the IB state machine.
+
+A QP owns a send queue and a receive queue (bounded), references a send and
+a receive CQ, and carries transport state: packet sequence numbers, the
+RC outstanding-request map (for ack-driven completions), and a responder
+reorder buffer that preserves per-QP ordering even when the NIC engine's
+internal pipelining would deliver out of order.
+
+State machine (subset of ``ibv_qp_state``): RESET -> INIT -> RTR -> RTS.
+Posting to a QP in the wrong state raises, as real verbs would return EINVAL.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import QPStateError, VerbsError
+from repro.verbs.wr import RecvWR, SendWR, WireMessage
+
+if False:  # pragma: no cover - typing only
+    from repro.verbs.srq import SharedReceiveQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.cq import CompletionQueue
+    from repro.verbs.pd import ProtectionDomain
+
+
+class QPState(enum.Enum):
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERROR = "ERROR"
+
+
+class Transport(enum.Enum):
+    RC = "RC"
+    UD = "UD"
+
+
+_VALID_TRANSITIONS = {
+    QPState.RESET: {QPState.INIT, QPState.ERROR},
+    QPState.INIT: {QPState.RTR, QPState.ERROR, QPState.RESET},
+    QPState.RTR: {QPState.RTS, QPState.ERROR, QPState.RESET},
+    QPState.RTS: {QPState.ERROR, QPState.RESET},
+    QPState.ERROR: {QPState.RESET},
+}
+
+
+class QueuePair:
+    """``ibv_qp`` analogue."""
+
+    def __init__(
+        self,
+        pd: "ProtectionDomain",
+        transport: Transport,
+        send_cq: "CompletionQueue",
+        recv_cq: "CompletionQueue",
+        qpn: int,
+        sq_depth: int,
+        rq_depth: int,
+        max_inline: int,
+        srq: "SharedReceiveQueue | None" = None,
+    ):
+        self.pd = pd
+        self.transport = transport
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.qpn = qpn
+        self.sq_depth = sq_depth
+        self.rq_depth = rq_depth
+        self.max_inline = max_inline
+        #: Optional shared receive queue; when set, the NIC consumes recv
+        #: WQEs from it and post_recv on this QP is invalid.
+        self.srq = srq
+        self.state = QPState.RESET
+
+        #: RC: connected peer as (host_id, qpn); set at RTR.
+        self.remote: Optional[tuple[int, int]] = None
+
+        # Queues. The NIC consumes from these.
+        self.rq: deque[RecvWR] = deque()
+        #: Send WQEs handed to the NIC but not yet completed (occupancy cap).
+        self.sq_outstanding = 0
+
+        # RC transport state.
+        self.sq_psn = 0  # next PSN to assign
+        self.expected_psn = 0  # next PSN the responder will accept
+        self.outstanding: dict[int, SendWR] = {}  # psn -> wqe awaiting ack
+        self.reorder: dict[int, WireMessage] = {}  # out-of-order responder hold
+        self.rnr_retries = 7
+
+        # Statistics.
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.bytes_sent = 0
+        self.rnr_naks = 0
+
+    # -- state machine -------------------------------------------------------------
+
+    def modify(self, new_state: QPState, remote: Optional[tuple[int, int]] = None) -> None:
+        """Transition the QP (``ibv_modify_qp`` analogue).
+
+        Entering ERROR flushes all outstanding work requests: every posted
+        recv WQE and every unacknowledged send completes with
+        ``WR_FLUSH_ERR``, exactly as the verbs spec requires (consumers
+        rely on this to reclaim buffers).
+        """
+        if new_state not in _VALID_TRANSITIONS[self.state]:
+            raise QPStateError(f"illegal transition {self.state} -> {new_state}")
+        if new_state is QPState.RTR and self.transport is Transport.RC:
+            if remote is None:
+                raise QPStateError("RC RTR transition requires remote (host, qpn)")
+            self.remote = remote
+        if new_state is QPState.ERROR:
+            self._flush_with_errors()
+        if new_state is QPState.RESET:
+            self._flush()
+        self.state = new_state
+
+    def _flush_with_errors(self) -> None:
+        """Complete everything in flight with WR_FLUSH_ERR."""
+        from repro.verbs.wr import CQE, Opcode, WCStatus
+
+        for rwr in self.rq:
+            self.recv_cq.push(CQE(
+                wr_id=rwr.wr_id, status=WCStatus.WR_FLUSH_ERR,
+                opcode=Opcode.SEND, byte_len=0, qp_num=self.qpn))
+        self.rq.clear()
+        for _psn, swr in sorted(self.outstanding.items()):
+            self.send_cq.push(CQE(
+                wr_id=swr.wr_id, status=WCStatus.WR_FLUSH_ERR,
+                opcode=swr.opcode, byte_len=0, qp_num=self.qpn))
+        self.outstanding.clear()
+        self.reorder.clear()
+        self.sq_outstanding = 0
+
+    def _flush(self) -> None:
+        self.rq.clear()
+        self.outstanding.clear()
+        self.reorder.clear()
+        self.sq_outstanding = 0
+        self.sq_psn = 0
+        self.expected_psn = 0
+
+    # -- posting validation (data structures only; costs live in dataplane) -----
+
+    def check_post_send(self, wr: SendWR) -> None:
+        if self.state is not QPState.RTS:
+            raise QPStateError(f"post_send on QP {self.qpn} in state {self.state}")
+        wr.validate()
+        if self.sq_outstanding >= self.sq_depth:
+            raise VerbsError(f"QP {self.qpn} send queue full (depth {self.sq_depth})")
+        if wr.inline and wr.length > self.max_inline:
+            raise VerbsError(
+                f"inline length {wr.length} exceeds max_inline {self.max_inline}"
+            )
+        if self.transport is Transport.UD:
+            if not wr.opcode.is_send:
+                raise VerbsError(f"UD supports only SEND, got {wr.opcode}")
+            if wr.ah is None:
+                raise VerbsError("UD send requires an address handle (ah)")
+        else:
+            if self.remote is None:
+                raise QPStateError(f"RC QP {self.qpn} is not connected")
+
+    def check_post_recv(self, wr: RecvWR) -> None:
+        if self.srq is not None:
+            raise VerbsError(
+                f"QP {self.qpn} uses SRQ {self.srq.srqn}; post to the SRQ"
+            )
+        if self.state in (QPState.RESET, QPState.ERROR):
+            raise QPStateError(f"post_recv on QP {self.qpn} in state {self.state}")
+        if len(self.rq) >= self.rq_depth:
+            raise VerbsError(f"QP {self.qpn} recv queue full (depth {self.rq_depth})")
+
+    def destination_for(self, wr: SendWR) -> tuple[int, int]:
+        """Resolve (host, qpn) the WR targets."""
+        if self.transport is Transport.UD:
+            assert wr.ah is not None
+            return wr.ah
+        assert self.remote is not None
+        return self.remote
+
+    def assign_psn(self) -> int:
+        psn = self.sq_psn
+        self.sq_psn += 1
+        return psn
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QP {self.qpn} {self.transport.value} {self.state.value}>"

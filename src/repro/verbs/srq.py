@@ -1,0 +1,73 @@
+"""Shared receive queues.
+
+An SRQ lets many QPs draw receive WQEs from one pool instead of per-QP
+receive queues — the feature that makes verbs-based MPI scale to thousands
+of peers without preposting rq_depth x n_peers buffers.  The NIC consumes
+from the SRQ whenever an incoming message targets a QP created with one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import VerbsError
+from repro.verbs.wr import RecvWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.pd import ProtectionDomain
+
+_srq_ids = itertools.count(1)
+
+
+class SharedReceiveQueue:
+    """``ibv_srq`` analogue."""
+
+    def __init__(self, pd: "ProtectionDomain", depth: int = 4096,
+                 limit: int = 0):
+        if depth <= 0:
+            raise VerbsError(f"SRQ depth must be positive: {depth}")
+        self.pd = pd
+        self.srqn = next(_srq_ids)
+        self.depth = depth
+        #: Low-watermark: when occupancy drops below it, ``limit_event``
+        #: fires once (``ibv_modify_srq`` IBV_SRQ_LIMIT analogue).
+        self.limit = limit
+        self.rq: deque[RecvWR] = deque()
+        self.recvs_posted = 0
+        self.recvs_consumed = 0
+        self._limit_armed = limit > 0
+        self._limit_waiters: list = []
+
+    def check_post(self, wr: RecvWR) -> None:
+        if len(self.rq) >= self.depth:
+            raise VerbsError(f"SRQ {self.srqn} full (depth {self.depth})")
+
+    def push(self, wr: RecvWR) -> None:
+        self.rq.append(wr)
+        self.recvs_posted += 1
+        if self.limit and len(self.rq) >= self.limit:
+            self._limit_armed = True
+
+    def pop(self) -> RecvWR:
+        wr = self.rq.popleft()
+        self.recvs_consumed += 1
+        if self._limit_armed and self.limit and len(self.rq) < self.limit:
+            self._limit_armed = False
+            waiters, self._limit_waiters = self._limit_waiters, []
+            for ev in waiters:
+                ev.succeed(len(self.rq))
+        return wr
+
+    def limit_event(self, sim):
+        """Event firing when occupancy crosses below the limit watermark."""
+        ev = sim.event(name=f"srq{self.srqn}.limit")
+        if self.limit and len(self.rq) < self.limit and not self._limit_armed:
+            ev.succeed(len(self.rq))
+        else:
+            self._limit_waiters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.rq)

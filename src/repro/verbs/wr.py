@@ -1,0 +1,189 @@
+"""Work requests, completions, opcodes and access flags.
+
+These are the wire- and queue-level value types shared by the verbs layer
+and the NIC engine.  They deliberately mirror ``ibv_send_wr`` /
+``ibv_recv_wr`` / ``ibv_wc`` from the real API.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Opcode(enum.Enum):
+    """Send-side operation codes (subset of ``ibv_wr_opcode``)."""
+
+    SEND = "send"
+    SEND_WITH_IMM = "send_imm"
+    RDMA_WRITE = "rdma_write"
+    RDMA_WRITE_WITH_IMM = "rdma_write_imm"
+    RDMA_READ = "rdma_read"
+    ATOMIC_FETCH_ADD = "atomic_fadd"
+    ATOMIC_CMP_SWAP = "atomic_cswap"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
+
+    @property
+    def is_send(self) -> bool:
+        return self in (Opcode.SEND, Opcode.SEND_WITH_IMM)
+
+    @property
+    def has_imm(self) -> bool:
+        return self in (Opcode.SEND_WITH_IMM, Opcode.RDMA_WRITE_WITH_IMM)
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWAP)
+
+    @property
+    def consumes_recv_wqe(self) -> bool:
+        """Does this op consume a receive WQE at the responder?"""
+        return self.is_send or self is Opcode.RDMA_WRITE_WITH_IMM
+
+    @property
+    def reads_local_memory(self) -> bool:
+        """Does the initiating NIC DMA payload out of local memory?"""
+        return self.is_send or self.is_write
+
+
+class WCStatus(enum.Enum):
+    """Completion status (subset of ``ibv_wc_status``)."""
+
+    SUCCESS = "success"
+    LOC_LEN_ERR = "local_length_error"
+    LOC_PROT_ERR = "local_protection_error"
+    REM_ACCESS_ERR = "remote_access_error"
+    REM_INV_REQ_ERR = "remote_invalid_request"
+    RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
+    WR_FLUSH_ERR = "flushed"
+
+
+class AccessFlags(enum.IntFlag):
+    """MR access permissions (subset of ``ibv_access_flags``)."""
+
+    LOCAL_READ = 0x0  # implicit, always allowed
+    LOCAL_WRITE = 0x1
+    REMOTE_WRITE = 0x2
+    REMOTE_READ = 0x4
+
+    @classmethod
+    def all_remote(cls) -> "AccessFlags":
+        return cls.LOCAL_WRITE | cls.REMOTE_WRITE | cls.REMOTE_READ
+
+
+@dataclass
+class SendWR:
+    """A send work request (``ibv_send_wr`` analogue, single SGE).
+
+    ``addr``/``length``/``lkey`` describe the local payload.  One-sided
+    operations add ``remote_addr``/``rkey``.  UD sends add ``ah`` (the
+    address handle: destination host id and QPN).  ``data`` optionally
+    carries real bytes for correctness tests.
+    """
+
+    wr_id: int
+    opcode: Opcode
+    addr: int = 0
+    length: int = 0
+    lkey: int = 0
+    signaled: bool = True
+    inline: bool = False
+    imm: Optional[int] = None
+    remote_addr: int = 0
+    rkey: int = 0
+    ah: Optional[tuple[int, int]] = None  # (dst_host_id, dst_qpn) for UD
+    data: Optional[bytes] = None
+    #: Structured sideband for upper layers (e.g. MPI headers).  Travels
+    #: with the message and surfaces in the matching CQE; in a physical
+    #: system this would be serialized into the payload's first bytes.
+    meta: object = None
+    #: Atomic operands (8-byte ops): FETCH_ADD uses ``compare_add`` as the
+    #: addend; CMP_SWAP compares against ``compare_add`` and stores ``swap``.
+    compare_add: int = 0
+    swap: int = 0
+
+    def validate(self) -> None:
+        from repro.errors import VerbsError
+
+        if self.length < 0:
+            raise VerbsError(f"negative WR length: {self.length}")
+        if self.opcode.has_imm and self.imm is None:
+            raise VerbsError(f"{self.opcode} requires an immediate value")
+        if self.opcode is Opcode.RDMA_READ and self.inline:
+            raise VerbsError("RDMA_READ cannot be inline")
+        if self.opcode.is_atomic:
+            if self.length != 8:
+                raise VerbsError("atomic operations are exactly 8 bytes")
+            if self.inline:
+                raise VerbsError("atomics cannot be inline")
+        if self.data is not None and len(self.data) != self.length:
+            raise VerbsError(
+                f"payload length {len(self.data)} != WR length {self.length}"
+            )
+
+
+@dataclass
+class RecvWR:
+    """A receive work request (``ibv_recv_wr`` analogue, single SGE)."""
+
+    wr_id: int
+    addr: int = 0
+    length: int = 0
+    lkey: int = 0
+
+
+@dataclass
+class CQE:
+    """A work completion (``ibv_wc`` analogue)."""
+
+    wr_id: int
+    status: WCStatus
+    opcode: Opcode
+    byte_len: int
+    qp_num: int
+    src_qp: int = 0
+    imm: Optional[int] = None
+    #: Simulation timestamp at which the NIC wrote this CQE to host memory.
+    timestamp: float = 0.0
+    #: Delivered payload for correctness tests (recv completions only).
+    data: Optional[bytes] = None
+    #: Sideband from the sender's WR (recv completions only).
+    meta: object = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+
+@dataclass
+class WireMessage:
+    """One message on the fabric (a transport-level unit, not one packet)."""
+
+    kind: str  # "send" | "write" | "read_req" | "read_resp" | "ack" | "nak_rnr"
+    src_host: int
+    dst_host: int
+    src_qpn: int
+    dst_qpn: int
+    transport: str  # "RC" | "UD"
+    psn: int
+    length: int = 0
+    imm: Optional[int] = None
+    remote_addr: int = 0
+    rkey: int = 0
+    data: Optional[bytes] = None
+    #: For read_resp / ack: the initiator-side WQE being completed.
+    token: object = None
+    #: Upper-layer sideband copied from the send WR.
+    meta: object = None
+    #: Atomic request operands: (opcode, compare_add, swap).
+    atomic: Optional[tuple] = None
+    header_bytes: int = 0
+    retries: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.length + self.header_bytes

@@ -1,0 +1,135 @@
+"""RDMA atomics: fetch-add and compare-swap semantics and atomicity."""
+
+import pytest
+
+from repro.cluster import build_cluster, build_pair
+from repro.core.endpoint import connect, make_endpoint, make_rc_pair
+from repro.errors import VerbsError
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+from repro.verbs.wr import Opcode, SendWR
+
+
+def run_pair(scenario, kind="bypass"):
+    sim = Simulator(seed=2)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+    def main():
+        a, b = yield from make_rc_pair(host_a, host_b, kind, kind)
+        return (yield from scenario(sim, a, b))
+
+    return sim.run(sim.process(main()))
+
+
+def _atomic_wr(a, b, opcode, wr_id=1, compare_add=0, swap=0, local_off=0):
+    return SendWR(wr_id=wr_id, opcode=opcode, addr=a.buf.addr + local_off,
+                  length=8, lkey=a.mr.lkey, remote_addr=b.buf.addr,
+                  rkey=b.mr.rkey, compare_add=compare_add, swap=swap)
+
+
+def test_fetch_add_returns_original_and_updates():
+    def scenario(sim, a, b):
+        b.buf.write(0, (41).to_bytes(8, "little"))
+        yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_FETCH_ADD,
+                                          compare_add=1))
+        cqes = yield from a.wait_send()
+        original = int.from_bytes(cqes[0].data, "little")
+        fetched_local = int.from_bytes(a.buf.read(0, 8), "little")
+        remote = int.from_bytes(b.buf.read(0, 8), "little")
+        return original, fetched_local, remote, cqes[0].opcode
+
+    original, local, remote, opcode = run_pair(scenario)
+    assert original == 41
+    assert local == 41  # pre-op value DMA'd into the local buffer
+    assert remote == 42
+    assert opcode is Opcode.ATOMIC_FETCH_ADD
+
+
+def test_cmp_swap_success_and_failure():
+    def scenario(sim, a, b):
+        b.buf.write(0, (7).to_bytes(8, "little"))
+        # Matching compare: swap in 99.
+        yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_CMP_SWAP,
+                                          wr_id=1, compare_add=7, swap=99))
+        cqes = yield from a.wait_send()
+        first = int.from_bytes(cqes[0].data, "little")
+        # Non-matching compare: no change.
+        yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_CMP_SWAP,
+                                          wr_id=2, compare_add=7, swap=1))
+        cqes = yield from a.wait_send()
+        second = int.from_bytes(cqes[0].data, "little")
+        remote = int.from_bytes(b.buf.read(0, 8), "little")
+        return first, second, remote
+
+    first, second, remote = run_pair(scenario)
+    assert first == 7     # original before successful swap
+    assert second == 99   # swap failed, returns current value
+    assert remote == 99   # still the first swap's value
+
+
+def test_atomic_must_be_8_bytes():
+    wr = SendWR(wr_id=1, opcode=Opcode.ATOMIC_FETCH_ADD, length=4)
+    with pytest.raises(VerbsError, match="8 bytes"):
+        wr.validate()
+
+
+def test_fetch_add_is_atomic_across_concurrent_initiators():
+    """N clients on different hosts increment one counter; no lost updates."""
+    sim = Simulator(seed=3)
+    _fabric, hosts = build_cluster(sim, SYSTEM_L, 3)
+    target_host = hosts[0]
+    out = {}
+
+    def main():
+        # One shared counter MR on the target host; each client gets its
+        # own RC connection to a per-client endpoint there (an RC QP has
+        # exactly one peer), all addressing the same registered memory.
+        target = yield from make_endpoint(target_host, "bypass")
+        clients = []
+        for host in hosts[1:]:
+            for _ in range(2):
+                c = yield from make_endpoint(host, "bypass")
+                server_side = yield from make_endpoint(target_host, "bypass")
+                yield from connect(c, server_side)
+                clients.append(c)
+
+        def adder(client, n):
+            for i in range(n):
+                yield from client.post_send(SendWR(
+                    wr_id=i, opcode=Opcode.ATOMIC_FETCH_ADD,
+                    addr=client.buf.addr, length=8, lkey=client.mr.lkey,
+                    remote_addr=target.buf.addr, rkey=target.mr.rkey,
+                    compare_add=1))
+                yield from client.wait_send()
+
+        procs = [sim.process(adder(c, 25)) for c in clients]
+        yield sim.all_of(procs)
+        out["value"] = int.from_bytes(target.buf.read(0, 8), "little")
+
+    sim.run(sim.process(main()))
+    assert out["value"] == 4 * 25  # every increment survived
+
+
+def test_atomics_work_under_cord():
+    def scenario(sim, a, b):
+        b.buf.write(0, (5).to_bytes(8, "little"))
+        yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_FETCH_ADD,
+                                          compare_add=10))
+        cqes = yield from a.wait_send()
+        return int.from_bytes(b.buf.read(0, 8), "little"), cqes[0].ok
+
+    remote, ok = run_pair(scenario, kind="cord")
+    assert remote == 15 and ok
+
+
+def test_atomic_bad_rkey_error():
+    from repro.verbs.wr import WCStatus
+
+    def scenario(sim, a, b):
+        wr = _atomic_wr(a, b, Opcode.ATOMIC_FETCH_ADD, compare_add=1)
+        wr.rkey = 0xBAD
+        yield from a.post_send(wr)
+        cqes = yield from a.wait_send()
+        return cqes[0].status
+
+    assert run_pair(scenario) is WCStatus.REM_ACCESS_ERR

@@ -1,0 +1,62 @@
+"""CLI smoke tests (argument wiring + output shape)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_profiles_command(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "i5-4590" in out and "EPYC" in out
+    assert "CoRD op ns" in out
+
+
+def test_lat_command_single_size(capsys):
+    assert main(["lat", "--size", "1024", "--iters", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "1 KiB" in out and "avg us" in out
+
+
+def test_lat_cord_slower(capsys):
+    main(["lat", "--size", "4096", "--iters", "30"])
+    base = capsys.readouterr().out
+    main(["lat", "--size", "4096", "--iters", "30",
+          "--client", "cord", "--server", "cord"])
+    cord = capsys.readouterr().out
+
+    def avg(text):
+        # last row: "4 KiB  <avg>  <p50>  <p99>"
+        return float(text.splitlines()[-1].split()[2])
+
+    assert avg(cord) > avg(base)
+
+
+def test_bw_command(capsys):
+    assert main(["bw", "--size", "65536", "--iters", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Gbit/s" in out
+
+
+def test_bw_technique_flags(capsys):
+    assert main(["bw", "--size", "65536", "--iters", "300",
+                 "--no-zero-copy"]) == 0
+    out = capsys.readouterr().out
+    assert "no zero-copy" in out
+
+
+def test_npb_command(capsys):
+    assert main(["npb", "--bench", "EP", "--klass", "S", "--ranks", "4",
+                 "--iter-scale", "1.0", "--transports", "bypass", "cord"]) == 0
+    out = capsys.readouterr().out
+    assert "EP" in out and "cord rel" in out
+
+
+def test_parser_rejects_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_bad_profile():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["lat", "--system", "Z"])

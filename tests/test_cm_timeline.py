@@ -1,0 +1,163 @@
+"""Connection manager handshake + message timeline analysis."""
+
+import pytest
+
+from repro.analysis import format_timeline, message_timeline, stage_latencies
+from repro.cluster import build_pair
+from repro.core.endpoint import make_endpoint, make_rc_pair
+from repro.errors import KernelError
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+from repro.sim.trace import Trace
+from repro.units import us
+from repro.verbs import cm
+from repro.verbs.qp import QPState
+from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+
+@pytest.fixture(autouse=True)
+def clean_cm_registry():
+    cm.reset_registry()
+    yield
+    cm.reset_registry()
+
+
+def test_cm_connect_establishes_working_connection():
+    sim = Simulator(seed=9)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+    out = {}
+
+    def server():
+        ep = yield from make_endpoint(host_b, "bypass")
+        listener = cm.CmListener(host_b, service_id=4791)
+        client_addr = yield from listener.accept(ep)
+        out["client_addr"] = client_addr
+        yield from ep.post_recv(RecvWR(wr_id=1, addr=ep.buf.addr,
+                                       length=ep.buf.length, lkey=ep.mr.lkey))
+        cqes = yield from ep.wait_recv()
+        out["got"] = cqes[0].byte_len
+
+    def client():
+        ep = yield from make_endpoint(host_a, "bypass")
+        yield sim.timeout(us(5))  # let the listener come up
+        server_addr = yield from cm.cm_connect(ep, host_b.host_id, 4791)
+        out["server_addr"] = server_addr
+        assert ep.qp.state is QPState.RTS
+        yield from ep.post_send(SendWR(wr_id=1, opcode=Opcode.SEND,
+                                       addr=ep.buf.addr, length=2048,
+                                       lkey=ep.mr.lkey))
+        yield from ep.wait_send()
+        out["client_qp"] = ep.qp
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert out["got"] == 2048
+    assert out["server_addr"][0] == host_b.host_id
+    assert out["client_addr"][0] == host_a.host_id
+    # The client's QP really is connected to what the REP advertised.
+    assert out["client_qp"].remote == out["server_addr"]
+
+
+def test_cm_connect_refused_without_listener():
+    sim = Simulator(seed=9)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+    def client():
+        ep = yield from make_endpoint(host_a, "bypass")
+        yield from cm.cm_connect(ep, host_b.host_id, 9999)
+
+    with pytest.raises(KernelError, match="no listener"):
+        sim.run(sim.process(client()))
+
+
+def test_cm_double_listen_rejected():
+    sim = Simulator(seed=9)
+    _fabric, _a, host_b = build_pair(sim, SYSTEM_L)
+    cm.CmListener(host_b, service_id=1)
+    with pytest.raises(KernelError, match="already listening"):
+        cm.CmListener(host_b, service_id=1)
+
+
+def test_cm_handshake_takes_more_than_one_rtt():
+    sim = Simulator(seed=9)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+    out = {}
+
+    def server():
+        ep = yield from make_endpoint(host_b, "bypass")
+        listener = cm.CmListener(host_b, service_id=7)
+        yield from listener.accept(ep)
+
+    def client():
+        ep = yield from make_endpoint(host_a, "bypass")
+        yield sim.timeout(us(50))
+        t0 = sim.now
+        yield from cm.cm_connect(ep, host_b.host_id, 7)
+        out["dt"] = sim.now - t0
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    rtt = 2 * SYSTEM_L.propagation_ns
+    assert out["dt"] > rtt + 2 * cm.CM_LEG_KERNEL_NS
+
+
+# -- timeline analysis -----------------------------------------------------------
+
+
+def _traced_send(size=4096):
+    sim = Simulator(seed=9, trace=Trace(enabled=True))
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+    def main():
+        a, b = yield from make_rc_pair(host_a, host_b, "bypass", "bypass")
+        sim.trace.clear()
+        yield from b.post_recv(RecvWR(wr_id=1, addr=b.buf.addr,
+                                      length=b.buf.length, lkey=b.mr.lkey))
+        yield from a.post_send(SendWR(wr_id=1, opcode=Opcode.SEND,
+                                      addr=a.buf.addr, length=size,
+                                      lkey=a.mr.lkey))
+        yield from b.wait_recv()
+        yield from a.wait_send()
+
+    sim.run(sim.process(main()))
+    sim.run()
+    return sim
+
+
+def test_timeline_contains_all_milestones_in_order():
+    sim = _traced_send()
+    records = message_timeline(sim.trace, psn=0)
+    events = [r.event for r in records]
+    for milestone in ("doorbell", "tx_start", "tx_done", "rx_arrive", "cqe"):
+        assert milestone in events
+    assert events.index("doorbell") < events.index("tx_start") \
+        < events.index("tx_done") < events.index("rx_arrive")
+    times = [r.time for r in records]
+    assert times == sorted(times)
+
+
+def test_stage_latencies_sum_to_span():
+    sim = _traced_send()
+    records = message_timeline(sim.trace, psn=0)
+    stages = stage_latencies(records)
+    assert sum(stages.values()) == pytest.approx(records[-1].time - records[0].time)
+    # Wire serialization: 4 KiB + 48 B headers crosses the MTU -> 2 packets.
+    assert stages["tx_start->tx_done"] == pytest.approx(
+        2 * SYSTEM_L.nic.per_packet_ns + (4096 + 48) / SYSTEM_L.nic.link_bw)
+
+
+def test_format_timeline_readable():
+    sim = _traced_send()
+    text = format_timeline(message_timeline(sim.trace, psn=0))
+    assert "doorbell" in text and "us" in text
+    assert text.splitlines()[0].startswith("t+")
+    assert format_timeline([]).startswith("(no trace records")
+
+
+def test_tracing_off_by_default_costs_nothing():
+    sim = _traced_send()
+    sim2 = Simulator(seed=9)  # default: disabled trace
+    assert len(sim2.trace) == 0
+    assert len(sim.trace) > 0

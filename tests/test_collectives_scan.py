@@ -1,0 +1,86 @@
+"""reduce_scatter, scan and exscan collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import MPIError
+from repro.hw.profiles import SYSTEM_L
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import MAX
+from repro.sim import Simulator
+
+
+def run_world(program, size=4, seed=3):
+    sim = Simulator(seed=seed)
+    _f, hosts = build_cluster(sim, SYSTEM_L, 2)
+    world = MpiWorld(sim, hosts, size)
+    return world.run(program)
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_reduce_scatter_power_of_two(size):
+    def program(comm):
+        # Block i from rank r contains r*100 + i.
+        blocks = [np.array([float(comm.rank * 100 + i)]) for i in range(comm.size)]
+        mine = yield from comm.reduce_scatter(8, blocks)
+        return float(mine[0])
+
+    results = run_world(program, size=size)
+    ranks_sum = sum(r * 100 for r in range(size))
+    assert results == [ranks_sum + size * i for i in range(size)]
+
+
+def test_reduce_scatter_non_power_of_two_fallback():
+    def program(comm):
+        blocks = [np.array([1.0]) for _ in range(comm.size)]
+        mine = yield from comm.reduce_scatter(8, blocks)
+        return float(mine[0])
+
+    results = run_world(program, size=3)
+    assert results == [3.0, 3.0, 3.0]
+
+
+def test_reduce_scatter_single_rank():
+    def program(comm):
+        mine = yield from comm.reduce_scatter(8, [np.array([7.0])])
+        return float(mine[0])
+
+    assert run_world(program, size=1) == [7.0]
+
+
+def test_reduce_scatter_block_count_checked():
+    def program(comm):
+        with pytest.raises(MPIError):
+            yield from comm.reduce_scatter(8, [np.array([1.0])])
+        return "ok"
+
+    assert run_world(program, size=4) == ["ok"] * 4
+
+
+def test_scan_inclusive_prefix_sums():
+    def program(comm):
+        out = yield from comm.scan(data=np.array([float(comm.rank + 1)]))
+        return float(out[0])
+
+    results = run_world(program, size=5)
+    assert results == [1.0, 3.0, 6.0, 10.0, 15.0]
+
+
+def test_exscan_exclusive_prefix():
+    def program(comm):
+        out = yield from comm.exscan(nbytes=8, data=comm.rank + 1)
+        return None if out is None else int(out)
+
+    results = run_world(program, size=5)
+    assert results == [None, 1, 3, 6, 10]
+
+
+def test_scan_with_max_operator():
+    def program(comm):
+        vals = [3, 9, 1, 7]
+        out = yield from comm.scan(nbytes=8, data=vals[comm.rank], op=MAX)
+        return out
+
+    results = run_world(program, size=4)
+    assert results == [3, 9, 9, 9]

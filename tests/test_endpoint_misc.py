@@ -1,0 +1,134 @@
+"""Endpoint helpers, driver cost model, bench support utilities."""
+
+import pytest
+
+from repro.bench_support import scaled
+from repro.cluster import build_pair
+from repro.core import driver
+from repro.core.endpoint import make_dataplane, make_endpoint, make_rc_pair
+from repro.core.policy import PolicyChain
+from repro.core.policies import FlowStats
+from repro.errors import ConfigError
+from repro.hw.profiles import SYSTEM_A, SYSTEM_L
+from repro.sim import Simulator
+from repro.verbs.qp import QPState, Transport
+from repro.verbs.wr import Opcode, SendWR
+
+
+def build():
+    sim = Simulator(seed=1)
+    _f, host_a, host_b = build_pair(sim, SYSTEM_L)
+    return sim, host_a, host_b
+
+
+# -- factory ----------------------------------------------------------------------
+
+
+def test_make_dataplane_kinds_and_aliases():
+    sim, host_a, _ = build()
+    core = host_a.cpus.pin()
+    assert make_dataplane("bp", host_a, core).tag == "BP"
+    assert make_dataplane("CORD", host_a, core).tag == "CD"
+    with pytest.raises(ConfigError, match="unknown dataplane"):
+        make_dataplane("xdp", host_a, core)
+
+
+def test_bypass_with_policies_rejected():
+    sim, host_a, _ = build()
+    with pytest.raises(ConfigError):
+        make_dataplane("bypass", host_a, host_a.cpus.pin(),
+                       PolicyChain([FlowStats()]))
+
+
+def test_make_endpoint_shared_cq_option():
+    sim, host_a, _ = build()
+
+    def main():
+        ep = yield from make_endpoint(host_a, "bypass", separate_cqs=False)
+        return ep.send_cq is ep.recv_cq
+
+    assert sim.run(sim.process(main())) is True
+
+
+def test_endpoint_addr_and_state():
+    sim, host_a, host_b = build()
+
+    def main():
+        a, b = yield from make_rc_pair(host_a, host_b, "bypass", "bypass")
+        return a.addr, a.qp.state, b.qp.remote
+
+    addr, state, remote = sim.run(sim.process(main()))
+    assert addr[0] == host_a.host_id
+    assert state is QPState.RTS
+    assert remote == addr
+
+
+def test_endpoint_custom_buffer_size():
+    sim, host_a, _ = build()
+
+    def main():
+        ep = yield from make_endpoint(host_a, "bypass", buf_bytes=1 << 16)
+        return ep.buf.length, ep.mr.length
+
+    assert sim.run(sim.process(main())) == (1 << 16, 1 << 16)
+
+
+# -- driver cost model ----------------------------------------------------------------
+
+
+def test_should_inline_rules():
+    sim = Simulator()
+    # Build a QP directly for the pure-function checks.
+    from repro.verbs.cq import CompletionQueue
+    from repro.verbs.pd import ProtectionDomain
+    from repro.verbs.qp import QueuePair
+
+    qp = QueuePair(ProtectionDomain(None), Transport.RC,
+                   CompletionQueue(sim, 16), CompletionQueue(sim, 16),
+                   qpn=1, sq_depth=8, rq_depth=8, max_inline=220)
+    small = SendWR(wr_id=1, opcode=Opcode.SEND, length=64)
+    big = SendWR(wr_id=2, opcode=Opcode.SEND, length=4096)
+    read = SendWR(wr_id=3, opcode=Opcode.RDMA_READ, length=64)
+    assert driver.should_inline(SYSTEM_L, qp, small, cord=False)
+    assert driver.should_inline(SYSTEM_L, qp, small, cord=True)  # L supports it
+    assert not driver.should_inline(SYSTEM_L, qp, big, cord=False)
+    assert not driver.should_inline(SYSTEM_L, qp, read, cord=False)
+    # System A: CoRD cannot inline (fig. 5a), bypass can.
+    assert not driver.should_inline(SYSTEM_A, qp, small, cord=True)
+    assert driver.should_inline(SYSTEM_A, qp, small, cord=False)
+
+
+def test_inline_post_costs_more_cpu_but_less_nic_latency():
+    inline_cost = driver.post_send_cpu_ns(
+        SYSTEM_L, SendWR(wr_id=1, opcode=Opcode.SEND, length=128), inline=True)
+    plain_cost = driver.post_send_cpu_ns(
+        SYSTEM_L, SendWR(wr_id=1, opcode=Opcode.SEND, length=128), inline=False)
+    assert inline_cost > plain_cost  # CPU stores the payload into the WQE
+
+
+def test_cord_op_cost_composition():
+    assert SYSTEM_L.cord_op_cost() == pytest.approx(
+        SYSTEM_L.cpu.syscall_ns + SYSTEM_L.cord_serialize_ns
+        + SYSTEM_L.cord_kernel_driver_ns)
+    kpti = SYSTEM_L.with_overrides(kpti=True)
+    assert kpti.cord_op_cost() == pytest.approx(
+        SYSTEM_L.cord_op_cost() + SYSTEM_L.cpu.kpti_extra_ns)
+
+
+# -- bench support -----------------------------------------------------------------------
+
+
+def test_scaled_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+    assert scaled(100) == 10
+    assert scaled(3, minimum=2) == 2
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "1.0")
+    assert scaled(100) == 100
+
+
+def test_profiles_registry():
+    from repro.hw.profiles import get_profile
+
+    assert get_profile("L").name == "L"
+    with pytest.raises(KeyError, match="unknown system profile"):
+        get_profile("Z")

@@ -1,0 +1,144 @@
+"""Discrete-event engine edge cases and device query verbs."""
+
+import pytest
+
+from repro.cluster import build_pair
+from repro.core.endpoint import make_endpoint
+from repro.errors import SimulationError, VerbsError
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+
+
+def test_run_until_already_processed_event_returns_value():
+    sim = Simulator()
+    t = sim.timeout(5.0, value="v")
+    sim.run()
+    assert sim.run(t) == "v"
+
+
+def test_run_until_failed_event_raises():
+    sim = Simulator()
+    ev = sim.event()
+
+    def failer():
+        yield sim.timeout(1.0)
+        ev.fail(KeyError("x"))
+
+    sim.process(failer())
+    with pytest.raises(KeyError):
+        sim.run(ev)
+
+
+def test_run_until_unreachable_event_raises():
+    sim = Simulator()
+    never = sim.event()
+    with pytest.raises(SimulationError, match="never be triggered"):
+        sim.run(never)
+
+
+def test_interrupt_terminated_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError, match="terminated"):
+        p.interrupt()
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_trigger_copies_other_events_outcome():
+    sim = Simulator()
+    src = sim.timeout(1.0, value=42)
+    dst = sim.event()
+
+    def proc():
+        yield src
+        dst.trigger(src)
+        value = yield dst
+        return value
+
+    assert sim.run(sim.process(proc())) == 42
+
+
+def test_try_get_with_parked_getters_rejected():
+    from repro.sim import Store
+
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter():
+        yield store.get()
+
+    sim.process(getter())
+    sim.run()
+    with pytest.raises(SimulationError, match="parked getters"):
+        store.try_get()
+
+
+def test_condition_value_mapping_interface():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        result = yield t1 & t2
+        assert result[t1] == "a"
+        assert len(result) == 2
+        assert list(result) == [t1, t2]
+        with pytest.raises(KeyError):
+            _ = result[sim.event()]
+        return result.todict()[t2]
+
+    assert sim.run(sim.process(proc())) == "b"
+
+
+def test_yielding_foreign_simulator_event_fails():
+    sim1 = Simulator()
+    sim2 = Simulator()
+
+    def proc():
+        yield sim2.timeout(1.0)
+
+    sim1.process(proc())
+    with pytest.raises(SimulationError, match="another simulator"):
+        sim1.run()
+
+
+# -- query verbs -----------------------------------------------------------------
+
+
+def test_query_device_and_port():
+    sim = Simulator(seed=1)
+    _f, host_a, _b = build_pair(sim, SYSTEM_L)
+
+    def main():
+        ep = yield from make_endpoint(host_a, "bypass")
+        dev = yield from ep.ctx.query_device()
+        port = yield from ep.ctx.query_port()
+        with pytest.raises(VerbsError):
+            yield from ep.ctx.query_port(2)
+        return dev, port
+
+    dev, port = sim.run(sim.process(main()))
+    assert dev.max_inline_data == SYSTEM_L.nic.inline_threshold
+    assert dev.atomic_cap
+    assert port.state == "ACTIVE"
+    assert port.active_mtu == 4096
+    assert port.link_speed_gbps == pytest.approx(100.0)

@@ -1,0 +1,280 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim import Simulator
+from repro.units import us
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+        return sim.now
+
+    p = sim.process(proc())
+    assert sim.run(p) == 100.0
+    assert sim.now == 100.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_stops_between_events():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(10.0)
+            seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=35.0)
+    assert seen == [10.0, 20.0, 30.0]
+    assert sim.now == 35.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.process(iter_timeout(sim, 50.0))
+    sim.run(until=50.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0)
+
+
+def iter_timeout(sim, delay):
+    yield sim.timeout(delay)
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5.0)
+        return "payload"
+
+    def parent():
+        value = yield sim.process(child())
+        return value
+
+    assert sim.run(sim.process(parent())) == "payload"
+
+
+def test_events_same_time_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(10.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        value = yield ev
+        return value
+
+    def firer():
+        yield sim.timeout(3.0)
+        ev.succeed(42)
+
+    p = sim.process(waiter())
+    sim.process(firer())
+    assert sim.run(p) == 42
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught:{exc}"
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    p = sim.process(waiter())
+    sim.process(firer())
+    assert sim.run(p) == "caught:boom"
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("crash")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="crash"):
+        sim.run()
+
+
+def test_joined_process_exception_delivered_to_parent():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("crash")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except RuntimeError:
+            return "handled"
+
+    assert sim.run(sim.process(parent())) == "handled"
+
+
+def test_yield_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_wakes_process_early():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(us(100))
+            return "slept"
+        except ProcessInterrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def interrupter(victim):
+        yield sim.timeout(10.0)
+        victim.interrupt("wakeup")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    assert sim.run(victim) == ("interrupted", "wakeup", 10.0)
+
+
+def test_interrupt_self_rejected():
+    sim = Simulator()
+
+    def proc():
+        me = sim.active_process
+        me.interrupt("nope")
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(10.0, value="fast")
+        t2 = sim.timeout(20.0, value="slow")
+        result = yield t1 | t2
+        assert t1 in result
+        assert t2 not in result
+        return result[t1], sim.now
+
+    assert sim.run(sim.process(proc())) == ("fast", 10.0)
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(10.0, value="a")
+        t2 = sim.timeout(20.0, value="b")
+        result = yield t1 & t2
+        return sorted(result.todict().values()), sim.now
+
+    assert sim.run(sim.process(proc())) == (["a", "b"], 20.0)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        result = yield sim.all_of([])
+        return len(result)
+
+    assert sim.run(sim.process(proc())) == 0
+
+
+def test_condition_fails_if_member_fails():
+    sim = Simulator()
+    ev = sim.event()
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(KeyError("bad"))
+
+    def proc():
+        try:
+            yield sim.all_of([ev, sim.timeout(50.0)])
+        except KeyError:
+            return "failed"
+
+    sim.process(firer())
+    assert sim.run(sim.process(proc())) == "failed"
+
+
+def test_rng_streams_independent_and_deterministic():
+    sim1 = Simulator(seed=7)
+    sim2 = Simulator(seed=7)
+    a1 = sim1.rng.stream("a").random(5).tolist()
+    # Interleave another stream in sim2 before drawing from "a".
+    sim2.rng.stream("b").random(100)
+    a2 = sim2.rng.stream("a").random(5).tolist()
+    assert a1 == a2
+
+
+def test_rng_different_seed_differs():
+    assert (
+        Simulator(seed=1).rng.stream("x").random(3).tolist()
+        != Simulator(seed=2).rng.stream("x").random(3).tolist()
+    )
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(30.0)
+    sim.timeout(10.0)
+    assert sim.peek() == 10.0
+    sim.run()
+    assert sim.peek() == float("inf")

@@ -1,0 +1,253 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FilterStore, PriorityResource, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        grants.append((tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for tag in range(4):
+        sim.process(user(tag, 10.0))
+    sim.run()
+    assert grants == [(0, 0.0), (1, 0.0), (2, 10.0), (3, 10.0)]
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def user():
+        with res.request() as req:
+            yield req
+            times.append(sim.now)
+            yield sim.timeout(5.0)
+
+    sim.process(user())
+    sim.process(user())
+    sim.run()
+    assert times == [0.0, 5.0]
+    assert res.count == 0
+
+
+def test_release_of_queued_request_cancels_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(100.0)
+        res.release(req)
+
+    def impatient():
+        req = res.request()
+        yield sim.timeout(10.0)
+        res.release(req)  # give up before the grant
+        return "gave-up"
+
+    sim.process(holder())
+    p = sim.process(impatient())
+    assert sim.run(p) == "gave-up"
+
+
+def test_release_unknown_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_priority_resource_serves_low_value_first():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    def user(tag, prio):
+        yield sim.timeout(1.0)  # arrive after the holder
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(user("low-prio", 5))
+    sim.process(user("high-prio", 1))
+    sim.process(user("mid-prio", 3))
+    sim.run()
+    assert order == ["high-prio", "mid-prio", "low-prio"]
+
+
+def test_priority_ties_are_fifo():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    def user(tag):
+        yield sim.timeout(1.0)
+        req = res.request(priority=1)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    for tag in range(4):
+        sim.process(user(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_utilization_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        req = res.request()
+        yield req
+        yield sim.timeout(50.0)
+        res.release(req)
+        yield sim.timeout(50.0)
+
+    sim.process(user())
+    sim.run()
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (item, sim.now)
+
+    def producer():
+        yield sim.timeout(25.0)
+        yield store.put("x")
+
+    p = sim.process(consumer())
+    sim.process(producer())
+    assert sim.run(p) == ("x", 25.0)
+
+
+def test_bounded_store_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    done = []
+
+    def producer():
+        yield store.put("a")
+        done.append(("a", sim.now))
+        yield store.put("b")
+        done.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert done == [("a", 0.0), ("b", 10.0)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("a")
+    sim.run()
+    assert store.try_get() == "a"
+    assert store.try_get() is None
+
+
+def test_filter_store_matches_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        for i in (1, 3, 4, 5):
+            yield store.put(i)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3, 5]
+
+
+def test_filter_store_try_get_with_filter():
+    sim = Simulator()
+    store = FilterStore(sim)
+    for i in range(5):
+        store.put(i)
+    sim.run()
+    assert store.try_get(lambda x: x > 2) == 3
+    assert store.try_get(lambda x: x > 10) is None
+
+
+def test_store_high_water_mark():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(7):
+        store.put(i)
+    sim.run()
+    assert store.max_occupancy == 7

@@ -1,0 +1,68 @@
+"""Trace and counter utilities."""
+
+from repro.sim import Counter, Simulator, Trace
+from repro.sim.trace import TraceRecord
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.emit(1.0, "nic", "tx", size=64)
+    assert len(trace) == 0
+
+
+def test_emit_and_select():
+    trace = Trace()
+    trace.emit(1.0, "nic", "tx", size=64)
+    trace.emit(2.0, "nic", "rx", size=64)
+    trace.emit(3.0, "cpu", "syscall")
+    assert len(trace.select(category="nic")) == 2
+    assert len(trace.select(category="nic", event="tx")) == 1
+    assert trace.select(event="syscall")[0].time == 3.0
+
+
+def test_category_filter():
+    trace = Trace(categories={"nic"})
+    trace.emit(1.0, "nic", "tx")
+    trace.emit(2.0, "cpu", "run")
+    assert [r.category for r in trace] == ["nic"]
+
+
+def test_record_field_access():
+    rec = TraceRecord(1.0, "nic", "tx", (("size", 64), ("qp", 7)))
+    assert rec.get("size") == 64
+    assert rec.get("missing", "dflt") == "dflt"
+    d = rec.asdict()
+    assert d["qp"] == 7 and d["event"] == "tx"
+
+
+def test_subscribers_see_live_records():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.emit(5.0, "x", "y")
+    assert len(seen) == 1 and seen[0].time == 5.0
+
+
+def test_trace_clear():
+    trace = Trace()
+    trace.emit(1.0, "a", "b")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_counter_accounting():
+    c = Counter("rx")
+    c.add(100, key="send")
+    c.add(200, key="send")
+    c.add(50, key="write")
+    assert c.ops == 3
+    assert c.bytes == 350
+    assert c.by_key("send") == 2
+    assert c.by_key("nope") == 0
+    snap = c.snapshot()
+    assert snap["by_key"] == {"send": 2, "write": 1}
+
+
+def test_simulator_owns_a_disabled_trace_by_default():
+    sim = Simulator()
+    assert sim.trace.enabled is False

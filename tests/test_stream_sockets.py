@@ -1,0 +1,135 @@
+"""Byte-stream socket semantics (fig. 2a's socket API shape)."""
+
+import pytest
+
+from repro.cluster import build_pair
+from repro.errors import KernelError
+from repro.hw.profiles import SYSTEM_L
+from repro.kernel.sockets import StreamSocket
+from repro.sim import Simulator
+
+
+def make_streams():
+    sim = Simulator(seed=4)
+    _f, host_a, host_b = build_pair(sim, SYSTEM_L)
+    dev_a = host_a.kernel.ensure_ipoib()
+    dev_b = host_b.kernel.ensure_ipoib()
+    registry = {}
+    dev_a.registry = registry
+    dev_b.registry = registry
+    return sim, host_a, host_b, dev_a, dev_b
+
+
+def test_stream_roundtrip_exact():
+    sim, host_a, host_b, dev_a, dev_b = make_streams()
+    payload = bytes(range(256)) * 512  # 128 KiB, crosses chunking
+    out = {}
+
+    def server():
+        listener = StreamSocket(dev_b)
+        listener.listen(80)
+        conn = yield from listener.accept()
+        data = yield from conn.recv_exact(host_b.cpus.pin(), len(payload))
+        out["data"] = data
+
+    def client():
+        sock = StreamSocket(dev_a)
+        yield from sock.connect(host_b.host_id, 80)
+        n = yield from sock.send(host_a.cpus.pin(), payload)
+        out["sent"] = n
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert out["sent"] == len(payload)
+    assert out["data"] == payload
+
+
+def test_partial_reads_are_streams_not_messages():
+    sim, host_a, host_b, dev_a, dev_b = make_streams()
+    out = {"reads": []}
+
+    def server():
+        listener = StreamSocket(dev_b)
+        listener.listen(80)
+        conn = yield from listener.accept()
+        core = host_b.cpus.pin()
+        # Read tiny pieces of what was sent as two larger writes: message
+        # boundaries must not be visible.
+        for _ in range(6):
+            part = yield from conn.recv(core, 5)
+            out["reads"].append(part)
+
+    def client():
+        sock = StreamSocket(dev_a)
+        yield from sock.connect(host_b.host_id, 80)
+        core = host_a.cpus.pin()
+        yield from sock.send(core, b"aaaaaaaaaa")  # 10
+        yield from sock.send(core, b"bbbbbbbbbbbbbbbbbbbb")  # 20
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert b"".join(out["reads"]) == b"aaaaaaaaaa" + b"b" * 20
+    assert all(len(r) <= 5 for r in out["reads"])
+
+
+def test_size_only_mode():
+    sim, host_a, host_b, dev_a, dev_b = make_streams()
+    out = {}
+
+    def server():
+        listener = StreamSocket(dev_b)
+        listener.listen(80)
+        conn = yield from listener.accept()
+        data = yield from conn.recv_exact(host_b.cpus.pin(), 70_000)
+        out["n"] = len(data)
+
+    def client():
+        sock = StreamSocket(dev_a)
+        yield from sock.connect(host_b.host_id, 80)
+        yield from sock.send(host_a.cpus.pin(), nbytes=70_000)
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert out["n"] == 70_000
+
+
+def test_recv_validation():
+    sim, _ha, _hb, dev_a, _db = make_streams()
+    sock = StreamSocket(dev_a)
+
+    def proc():
+        yield from sock.recv(None, 0)
+
+    with pytest.raises(KernelError):
+        sim.run(sim.process(proc()))
+
+
+def test_stream_far_slower_than_verbs_for_bulk():
+    """The full socket path (copies + per-packet kernel work) caps well
+    below the RDMA wire rate — the premise of the whole paper."""
+    sim, host_a, host_b, dev_a, dev_b = make_streams()
+    nbytes = 4 << 20
+    out = {}
+
+    def server():
+        listener = StreamSocket(dev_b)
+        listener.listen(80)
+        conn = yield from listener.accept()
+        yield from conn.recv_exact(host_b.cpus.pin(), nbytes)
+        out["t"] = sim.now
+
+    def client():
+        sock = StreamSocket(dev_a)
+        yield from sock.connect(host_b.host_id, 80)
+        out["t0"] = sim.now
+        yield from sock.send(host_a.cpus.pin(), nbytes=nbytes)
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    gbit = nbytes * 8 / (out["t"] - out["t0"])
+    assert gbit < 60  # far below the 100 Gbit/s the RDMA path reaches
+    assert gbit > 2

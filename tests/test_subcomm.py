@@ -1,0 +1,107 @@
+"""MPI_Comm_split and sub-communicator behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import MPIError
+from repro.hw.profiles import SYSTEM_L
+from repro.mpi import MpiWorld
+from repro.sim import Simulator
+
+
+def run_world(program, size=6):
+    sim = Simulator(seed=7)
+    _f, hosts = build_cluster(sim, SYSTEM_L, 2)
+    world = MpiWorld(sim, hosts, size)
+    return world.run(program)
+
+
+def test_split_groups_by_color_ordered_by_key():
+    def program(comm):
+        color = comm.rank % 2
+        sub = yield from comm.split(color, key=-comm.rank)  # reverse order
+        return (sub.rank, sub.size, sub.ranks)
+
+    results = run_world(program, size=6)
+    evens = [r for r in (0, 2, 4)]
+    # Reverse key ordering: global rank 4 becomes local 0 in the even group.
+    assert results[4] == (0, 3, [4, 2, 0])
+    assert results[0] == (2, 3, [4, 2, 0])
+    assert results[1][1] == 3  # odd group size
+    assert set(results[1][2]) == {1, 3, 5}
+
+
+def test_split_undefined_returns_none():
+    def program(comm):
+        color = None if comm.rank == 0 else 1
+        sub = yield from comm.split(color)
+        return sub is None
+
+    results = run_world(program, size=4)
+    assert results == [True, False, False, False]
+
+
+def test_subcomm_point_to_point_uses_local_ranks():
+    def program(comm):
+        sub = yield from comm.split(comm.rank % 2)
+        if sub.rank == 0:
+            yield from sub.send(1, data=b"sub-hello", tag=4)
+            return None
+        if sub.rank == 1:
+            req = yield from sub.recv(0, tag=4)
+            return (req.source, req.tag, req.data)
+        return None
+
+    results = run_world(program, size=4)
+    # Local source 0 and the *local* tag, on both sub-communicators.
+    assert results[2] == (0, 4, b"sub-hello")
+    assert results[3] == (0, 4, b"sub-hello")
+
+
+def test_subcomm_collectives_are_isolated():
+    """Concurrent allreduces on disjoint sub-communicators don't mix."""
+
+    def program(comm):
+        sub = yield from comm.split(comm.rank % 2)
+        out = yield from sub.allreduce(data=np.array([float(comm.rank)]))
+        return float(out[0])
+
+    results = run_world(program, size=6)
+    assert results[0] == results[2] == results[4] == 0 + 2 + 4
+    assert results[1] == results[3] == results[5] == 1 + 3 + 5
+
+
+def test_subcomm_barrier_only_synchronizes_members():
+    def program(comm):
+        sub = yield from comm.split(0 if comm.rank < 2 else 1)
+        if comm.rank >= 2:
+            yield from comm.compute(200_000.0)  # group 1 is late
+        yield from sub.barrier()
+        return comm.sim.now
+
+    results = run_world(program, size=4)
+    # Group 0 (ranks 0,1) must not have waited for group 1's compute.
+    assert max(results[0], results[1]) < min(results[2], results[3])
+
+
+def test_subcomm_any_tag_rejected():
+    def program(comm):
+        sub = yield from comm.split(0)
+        if comm.rank == 0:
+            with pytest.raises(MPIError, match="ANY_TAG"):
+                yield from sub.irecv(source=1, tag=-1)
+        return "ok"
+
+    assert run_world(program, size=2) == ["ok", "ok"]
+
+
+def test_nested_split():
+    def program(comm):
+        half = yield from comm.split(comm.rank // 4)      # two halves of 4
+        quarter = yield from half.split(half.rank // 2)   # pairs
+        out = yield from quarter.allreduce(data=np.array([1.0]))
+        return (quarter.size, float(out[0]))
+
+    results = run_world(program, size=8)
+    assert all(r == (2, 2.0) for r in results)

@@ -1,0 +1,62 @@
+"""Unit tests for the units module (conversion sanity)."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_helpers_compose():
+    assert units.us(1) == 1000 * units.ns(1)
+    assert units.ms(1) == 1000 * units.us(1)
+    assert units.seconds(1) == 1000 * units.ms(1)
+
+
+def test_round_trips():
+    assert units.to_us(units.us(3.5)) == pytest.approx(3.5)
+    assert units.to_ms(units.ms(2)) == pytest.approx(2)
+    assert units.to_seconds(units.seconds(0.25)) == pytest.approx(0.25)
+
+
+def test_gbit_per_s_known_point():
+    # 100 Gbit/s is 12.5 bytes/ns.
+    assert units.gbit_per_s(100) == pytest.approx(12.5)
+    assert units.to_gbit_per_s(12.5) == pytest.approx(100)
+
+
+def test_gib_per_s():
+    assert units.gib_per_s(1.0) == pytest.approx(1.073741824)
+
+
+def test_transfer_time():
+    # 1 MiB at 100 Gbit/s.
+    t = units.transfer_time(units.mib(1), units.gbit_per_s(100))
+    assert t == pytest.approx(1048576 / 12.5)
+    assert units.transfer_time(0, 1.0) == 0.0
+    with pytest.raises(ValueError):
+        units.transfer_time(10, 0)
+
+
+def test_msgs_per_sec():
+    assert units.msgs_per_sec(1000.0) == pytest.approx(1e6)
+    with pytest.raises(ValueError):
+        units.msgs_per_sec(0)
+
+
+def test_pretty_size():
+    assert units.pretty_size(2) == "2 B"
+    assert units.pretty_size(4096) == "4 KiB"
+    assert units.pretty_size(1 << 20) == "1 MiB"
+    assert units.pretty_size(3 << 30) == "3 GiB"
+    assert units.pretty_size(1500) == "1500 B"  # not a clean KiB multiple
+
+
+def test_pretty_time():
+    assert units.pretty_time(50.0) == "50.0 ns"
+    assert units.pretty_time(units.us(3)) == "3.000 us"
+    assert units.pretty_time(units.ms(2.5)) == "2.500 ms"
+    assert units.pretty_time(units.seconds(1.5)) == "1.500 s"
+
+
+def test_size_constants():
+    assert units.kib(2) == 2048
+    assert units.mib(1) == 1 << 20

@@ -1,0 +1,84 @@
+"""MPI world wiring details and NPB suite runner."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.policy import PolicyChain
+from repro.core.policies import FlowStats
+from repro.errors import ConfigError
+from repro.hw.profiles import SYSTEM_A, SYSTEM_L
+from repro.mpi import MpiWorld
+from repro.npb import run_suite
+from repro.sim import Simulator
+
+
+def test_world_validates_config():
+    sim = Simulator()
+    _f, hosts = build_cluster(sim, SYSTEM_L, 2)
+    with pytest.raises(ConfigError):
+        MpiWorld(sim, hosts, 4, transport="teleport")
+    with pytest.raises(ConfigError):
+        MpiWorld(sim, hosts, 0)
+
+
+def test_block_placement_across_hosts():
+    sim = Simulator()
+    _f, hosts = build_cluster(sim, SYSTEM_L, 2)
+    world = MpiWorld(sim, hosts, 6)
+    placed = [e.host.host_id for e in world.engines]
+    assert placed == [0, 0, 0, 1, 1, 1]
+
+
+def test_policies_factory_gives_each_rank_its_chain():
+    sim = Simulator()
+    _f, hosts = build_cluster(sim, SYSTEM_A, 2)
+    chains = {}
+
+    def factory(rank):
+        chains[rank] = PolicyChain([FlowStats()])
+        return chains[rank]
+
+    world = MpiWorld(sim, hosts, 4, transport="cord", policies_factory=factory)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=64)
+        elif comm.rank == 1:
+            yield from comm.recv(0)
+        return None
+
+    world.run(program)
+    # Rank 0's chain saw its send; rank 2's (idle) chain saw nothing sent.
+    sent_by = {
+        r: sum(f.ops.get("post_send", 0) for f in chains[r].policies[0].flows.values())
+        for r in range(4)
+    }
+    assert sent_by[0] == 1
+    assert sent_by[2] == 0
+
+
+def test_bypass_world_rejects_policies():
+    sim = Simulator()
+    _f, hosts = build_cluster(sim, SYSTEM_L, 2)
+    with pytest.raises(ConfigError):
+        MpiWorld(sim, hosts, 2, transport="bypass",
+                 policies_factory=lambda r: PolicyChain([FlowStats()]))
+
+
+def test_ensure_ipoib_idempotent():
+    sim = Simulator()
+    _f, hosts = build_cluster(sim, SYSTEM_L, 1)
+    dev1 = hosts[0].kernel.ensure_ipoib()
+    dev2 = hosts[0].kernel.ensure_ipoib()
+    assert dev1 is dev2
+
+
+def test_run_suite_grid_shape():
+    grid = run_suite(names=("EP", "CG"), transports=("bypass", "cord"),
+                     klass="S", ranks=4, iterations=1)
+    assert set(grid) == {"EP", "CG"}
+    for name in grid:
+        assert set(grid[name]) == {"bypass", "cord"}
+        for res in grid[name].values():
+            assert res.elapsed_ns > 0
+            assert res.name == name
