@@ -15,7 +15,7 @@ dominates — CoRD "breaks" around a few hundred thousand msgs/s per rank.
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.cluster import build_pair
 from repro.hw.profiles import SYSTEM_L
 from repro.mpi import MpiWorld
@@ -53,24 +53,32 @@ def _runtime(transport: str, compute_ns: float, rounds: int) -> tuple[float, flo
     return elapsed, msg_rate
 
 
-@pytest.mark.benchmark(group="breaking-point")
-def test_breaking_point(benchmark):
-    def run():
-        rounds = scaled(400, minimum=100)
-        table = SweepTable(
-            "Breaking point: CoRD/bypass runtime vs message intensity", "compute/msg"
-        )
-        ratio = table.new_series("CoRD/bypass")
-        rate = table.new_series("bypass kmsg/s/rank")
-        for compute_ns in COMPUTE_STEPS:
-            bp, bp_rate = _runtime("bypass", compute_ns, rounds)
-            cd, _ = _runtime("cord", compute_ns, rounds)
-            label = f"{compute_ns / 1000:.0f} us"
-            ratio.add(label, cd / bp)
-            rate.add(label, bp_rate / 1e3)
-        return table
+def _runtime_point(point):
+    return _runtime(*point)
 
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def _sweep():
+    rounds = scaled(400, minimum=100)
+    points = []
+    for compute_ns in COMPUTE_STEPS:
+        points.append(("bypass", compute_ns, rounds))
+        points.append(("cord", compute_ns, rounds))
+    values = iter(parallel_sweep(_runtime_point, points))
+    table = SweepTable(
+        "Breaking point: CoRD/bypass runtime vs message intensity", "compute/msg"
+    )
+    ratio = table.new_series("CoRD/bypass")
+    rate = table.new_series("bypass kmsg/s/rank")
+    for compute_ns in COMPUTE_STEPS:
+        bp, bp_rate = next(values)
+        cd, _ = next(values)
+        label = f"{compute_ns / 1000:.0f} us"
+        ratio.add(label, cd / bp)
+        rate.add(label, bp_rate / 1e3)
+    return table
+
+
+def _report(table):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     ratio = table.get("CoRD/bypass")
@@ -84,3 +92,16 @@ def test_breaking_point(benchmark):
         check_between("message-bound: overhead pronounced", ratio.y_at("0 us"), 1.25, 3.0),
     ]
     emit("breaking_point", text + "\n" + report_checks("breaking_point", checks))
+
+
+@pytest.mark.benchmark(group="breaking-point")
+def test_breaking_point(benchmark):
+    _report(benchmark.pedantic(_sweep, rounds=1, iterations=1))
+
+
+def main():
+    _report(_sweep())
+
+
+if __name__ == "__main__":
+    main()

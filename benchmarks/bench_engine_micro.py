@@ -1,0 +1,149 @@
+"""Engine microbenchmarks: raw event-loop throughput, tracked per PR.
+
+Measures the primitives every figure benchmark is built from:
+
+- ``resumes_per_sec``   — scalar-yield sleeps through the fast path;
+- ``timeouts_per_sec``  — the same loop forced through real ``Timeout``
+  events (what the engine cost before the fast path / with
+  ``REPRO_SIM_FASTPATH=0``);
+- ``events_per_sec``    — succeed-driven Event wakeups (store/CQ style);
+- ``store_hops_per_sec``— put→get rendezvous through a ``Store``;
+- ``resource_grants_per_sec`` — uncontended capacity-1 request/release.
+
+Writes ``results/BENCH_engine.json`` so the trajectory is visible across
+PRs.  Run directly (``python benchmarks/bench_engine_micro.py``) or via
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bench_support import RESULTS_DIR, scaled
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+from repro.sim.store import Store
+
+#: Operations per measurement (scaled by REPRO_BENCH_SCALE).
+N = 200_000
+
+
+def _rate(n: int, seconds: float) -> float:
+    return n / seconds if seconds > 0 else float("inf")
+
+
+def bench_scalar_resumes(n: int, fastpath: bool = True) -> float:
+    sim = Simulator(fastpath=fastpath)
+
+    def sleeper():
+        for _ in range(n):
+            yield 1.0
+
+    sim.process(sleeper())
+    t0 = time.perf_counter()
+    sim.run()
+    return _rate(n, time.perf_counter() - t0)
+
+
+def bench_timeout_events(n: int) -> float:
+    sim = Simulator()
+
+    def sleeper():
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1.0)
+
+    sim.process(sleeper())
+    t0 = time.perf_counter()
+    sim.run()
+    return _rate(n, time.perf_counter() - t0)
+
+
+def bench_event_wakeups(n: int) -> float:
+    sim = Simulator()
+
+    def waker(ev_box):
+        for _ in range(n):
+            ev_box[0] = sim.event()
+            ev_box[0].succeed(None)
+            yield ev_box[0]
+
+    sim.process(waker([None]))
+    t0 = time.perf_counter()
+    sim.run()
+    return _rate(n, time.perf_counter() - t0)
+
+
+def bench_store_hops(n: int) -> float:
+    sim = Simulator()
+    store = Store(sim, name="micro")
+
+    def producer():
+        for i in range(n):
+            yield store.put(i)
+            yield 1.0
+
+    def consumer():
+        for _ in range(n):
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    t0 = time.perf_counter()
+    sim.run()
+    return _rate(n, time.perf_counter() - t0)
+
+
+def bench_resource_grants(n: int) -> float:
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="micro")
+
+    def worker():
+        for _ in range(n):
+            req = res.request()
+            yield req
+            yield 1.0
+            res.release(req)
+
+    sim.process(worker())
+    t0 = time.perf_counter()
+    sim.run()
+    return _rate(n, time.perf_counter() - t0)
+
+
+def run_all(n: int | None = None) -> dict:
+    n = scaled(N) if n is None else n
+    results = {
+        "n_ops": n,
+        "resumes_per_sec": bench_scalar_resumes(n),
+        "timeouts_per_sec": bench_timeout_events(n),
+        "events_per_sec": bench_event_wakeups(n),
+        "store_hops_per_sec": bench_store_hops(n),
+        "resource_grants_per_sec": bench_resource_grants(n),
+    }
+    results["fastpath_speedup"] = (
+        results["resumes_per_sec"] / results["timeouts_per_sec"]
+    )
+    return results
+
+
+def emit_json(results: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def test_engine_micro():
+    results = run_all()
+    for key, value in results.items():
+        print(f"{key:>24}: {value:,.0f}" if "per_sec" in key
+              else f"{key:>24}: {value}")
+    emit_json(results)
+    # The fast path must actually be faster than the Timeout path.
+    assert results["resumes_per_sec"] > results["timeouts_per_sec"]
+
+
+if __name__ == "__main__":
+    test_engine_micro()

@@ -18,7 +18,7 @@ Paper claims checked:
 import pytest
 
 from repro.analysis import Series, SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.perftest.runner import PerftestConfig, run_bw, run_lat
 from repro.perftest.techniques import FIG1_VARIANTS
 from repro.units import MiB, pretty_size
@@ -27,30 +27,47 @@ LAT_SIZES = [2, 64, 1024, 4096, 65536, 1 << 20, 4 << 20]
 BW_SIZES = [64, 256, 1024, 4096, 16384, 65536, 1 << 20]
 
 
+def _lat_point(point):
+    cfg, size = point
+    return run_lat(cfg, size).avg_us
+
+
+def _bw_point(point):
+    cfg, size = point
+    return run_bw(cfg, size).gbit_per_s
+
+
 def _lat_sweep():
+    points = [
+        (PerftestConfig(system="L", iters=scaled(120), warmup=15, techniques=tech),
+         size)
+        for tech in FIG1_VARIANTS for size in LAT_SIZES
+    ]
+    values = iter(parallel_sweep(_lat_point, points))
     table = SweepTable("Fig 1a: send latency with techniques removed (us)", "size")
     for tech in FIG1_VARIANTS:
         s = table.new_series(tech.label)
-        cfg = PerftestConfig(system="L", iters=scaled(120), warmup=15, techniques=tech)
         for size in LAT_SIZES:
-            s.add(pretty_size(size), run_lat(cfg, size).avg_us)
+            s.add(pretty_size(size), next(values))
     return table
 
 
 def _bw_sweep():
+    points = [
+        (PerftestConfig(system="L", iters=scaled(900), warmup=200,
+                        window=64, techniques=tech), size)
+        for tech in FIG1_VARIANTS for size in BW_SIZES
+    ]
+    values = iter(parallel_sweep(_bw_point, points))
     table = SweepTable("Fig 1b: send throughput with techniques removed (Gbit/s)", "size")
     for tech in FIG1_VARIANTS:
         s = table.new_series(tech.label)
-        cfg = PerftestConfig(system="L", iters=scaled(900), warmup=200,
-                             window=64, techniques=tech)
         for size in BW_SIZES:
-            s.add(pretty_size(size), run_bw(cfg, size).gbit_per_s)
+            s.add(pretty_size(size), next(values))
     return table
 
 
-@pytest.mark.benchmark(group="fig1")
-def test_fig1a_latency(benchmark):
-    table = benchmark.pedantic(_lat_sweep, rounds=1, iterations=1)
+def _report_fig1a(table):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     base = table.get("baseline")
@@ -72,9 +89,7 @@ def test_fig1a_latency(benchmark):
     emit("fig1a_latency", text + "\n" + report_checks("fig1a", checks))
 
 
-@pytest.mark.benchmark(group="fig1")
-def test_fig1b_throughput(benchmark):
-    table = benchmark.pedantic(_bw_sweep, rounds=1, iterations=1)
+def _report_fig1b(table):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     base = table.get("baseline")
@@ -100,3 +115,22 @@ def test_fig1b_throughput(benchmark):
         "no polling large-message unaffected",
         table.get("no polling").y_at(big) / base.y_at(big), 0.85, 1.05))
     emit("fig1b_throughput", text + "\n" + report_checks("fig1b", checks))
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1a_latency(benchmark):
+    _report_fig1a(benchmark.pedantic(_lat_sweep, rounds=1, iterations=1))
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1b_throughput(benchmark):
+    _report_fig1b(benchmark.pedantic(_bw_sweep, rounds=1, iterations=1))
+
+
+def main():
+    _report_fig1a(_lat_sweep())
+    _report_fig1b(_bw_sweep())
+
+
+if __name__ == "__main__":
+    main()

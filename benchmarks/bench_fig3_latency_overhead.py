@@ -15,7 +15,7 @@ Paper claims checked:
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.perftest.runner import PerftestConfig, run_lat
 
 SIZE = 4096
@@ -23,31 +23,49 @@ COMBOS = [("bypass", "bypass"), ("cord", "bypass"), ("bypass", "cord"), ("cord",
 OPS = [("RC", "send"), ("RC", "read"), ("RC", "write"), ("UD", "send")]
 
 
+def _lat_point(point):
+    cfg, size = point
+    return run_lat(cfg, size).avg_us
+
+
 def _sweep():
+    points = []
+    for transport, op in OPS:
+        for client, server in COMBOS:
+            cfg = PerftestConfig(system="L", transport=transport, op=op,
+                                 client=client, server=server,
+                                 iters=scaled(150), warmup=20)
+            points.append((cfg, SIZE))
+    # The size-independence probe points ride the same fan-out.
+    for size in (256, 65536):
+        points.append((PerftestConfig(system="L", iters=scaled(150), warmup=20),
+                       size))
+        points.append((PerftestConfig(system="L", client="cord", server="cord",
+                                      iters=scaled(150), warmup=20), size))
+    values = iter(parallel_sweep(_lat_point, points))
+
     table = SweepTable(
         "Fig 3: latency overhead vs BP->BP at 4 KiB on system L (us)", "config"
     )
     combo_label = {c: f"{a[:2].upper()}->{b[:2].upper()}" for c, (a, b) in
                    zip(range(4), COMBOS)}
-    series = {}
     for transport, op in OPS:
-        series[(transport, op)] = table.new_series(f"{transport}-{op}")
-    for transport, op in OPS:
+        series = table.new_series(f"{transport}-{op}")
         base = None
-        for idx, (client, server) in enumerate(COMBOS):
-            cfg = PerftestConfig(system="L", transport=transport, op=op,
-                                 client=client, server=server,
-                                 iters=scaled(150), warmup=20)
-            lat = run_lat(cfg, SIZE).avg_us
+        for idx in range(len(COMBOS)):
+            lat = next(values)
             if base is None:
                 base = lat
-            series[(transport, op)].add(combo_label[idx], lat - base)
-    return table
+            series.add(combo_label[idx], lat - base)
+    deltas = []
+    for _size in (256, 65536):
+        bp = next(values)
+        cd = next(values)
+        deltas.append(cd - bp)
+    return table, deltas
 
 
-@pytest.mark.benchmark(group="fig3")
-def test_fig3_latency_overhead(benchmark):
-    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def _report(table, deltas):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     read = table.get("RC-read")
@@ -68,16 +86,22 @@ def test_fig3_latency_overhead(benchmark):
                       ud.y_at("CO->BY") / ud.y_at("BY->CO"), 0.7, 1.4),
         # Magnitude: sub-2us per side on system L.
         check_between("send one-side overhead (us)", send.y_at("CO->BY"), 0.1, 2.0),
+        # Size-independence: send CO->CO overhead at two more sizes.
+        check_between("overhead size-independent (65KiB vs 256B)",
+                      deltas[1] / deltas[0], 0.7, 1.4),
     ]
-    # Size-independence: measure send CO->CO at two more sizes.
-    import repro.perftest.runner as runner
-
-    deltas = []
-    for size in (256, 65536):
-        bp = runner.run_lat(PerftestConfig(system="L", iters=scaled(150), warmup=20), size)
-        cd = runner.run_lat(PerftestConfig(system="L", client="cord", server="cord",
-                                           iters=scaled(150), warmup=20), size)
-        deltas.append(cd.avg_us - bp.avg_us)
-    checks.append(check_between(
-        "overhead size-independent (65KiB vs 256B)", deltas[1] / deltas[0], 0.7, 1.4))
     emit("fig3_latency_overhead", text + "\n" + report_checks("fig3", checks))
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_latency_overhead(benchmark):
+    table, deltas = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _report(table, deltas)
+
+
+def main():
+    _report(*_sweep())
+
+
+if __name__ == "__main__":
+    main()

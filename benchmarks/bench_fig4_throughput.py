@@ -15,7 +15,7 @@ Paper claims checked:
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.perftest.runner import PerftestConfig, run_bw
 from repro.units import pretty_size
 
@@ -23,7 +23,25 @@ SIZES = [64, 256, 1024, 4096, 8192, 16384, 32768, 131072, 1 << 20]
 OPS = [("RC", "send"), ("RC", "read"), ("RC", "write"), ("UD", "send")]
 
 
+def _bw_point(point):
+    cfg, size = point
+    return run_bw(cfg, size)
+
+
 def _sweep():
+    keyed_points = []
+    for transport, op in OPS:
+        for size in SIZES:
+            if transport == "UD" and size > 4096:
+                continue
+            bp_cfg = PerftestConfig(system="L", transport=transport, op=op,
+                                    iters=scaled(1200), warmup=300, window=64)
+            cd_cfg = bp_cfg.with_(client="cord", server="cord")
+            keyed_points.append(((transport, op, size), (bp_cfg, size)))
+            keyed_points.append(((transport, op, size), (cd_cfg, size)))
+    results = parallel_sweep(_bw_point, [p for _, p in keyed_points])
+    values = iter(zip((k for k, _ in keyed_points), results))
+
     table = SweepTable("Fig 4: CoRD relative throughput on system L", "size")
     rate = SweepTable("Fig 4 overlay: bypass message rate (Mmsg/s)", "size")
     for transport, op in OPS:
@@ -32,19 +50,14 @@ def _sweep():
         for size in SIZES:
             if transport == "UD" and size > 4096:
                 continue
-            bp_cfg = PerftestConfig(system="L", transport=transport, op=op,
-                                    iters=scaled(1200), warmup=300, window=64)
-            cd_cfg = bp_cfg.with_(client="cord", server="cord")
-            bp = run_bw(bp_cfg, size)
-            cd = run_bw(cd_cfg, size)
+            (key, bp), (_, cd) = next(values), next(values)
+            assert key == (transport, op, size)
             rel.add(pretty_size(size), cd.gbit_per_s / bp.gbit_per_s)
             mr.add(pretty_size(size), bp.msg_rate_per_s / 1e6)
     return table, rate
 
 
-@pytest.mark.benchmark(group="fig4")
-def test_fig4_relative_throughput(benchmark):
-    table, rate = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def _report(table, rate):
     h1, r1 = table.rows()
     h2, r2 = rate.rows()
     text = format_table(h1, r1, table.title) + "\n\n" + format_table(h2, r2, rate.title)
@@ -70,3 +83,17 @@ def test_fig4_relative_throughput(benchmark):
     checks.append(check_between(
         "32 KiB send degradation ~1%", send.y_at("32 KiB"), 0.95, 1.01))
     emit("fig4_throughput", text + "\n" + report_checks("fig4", checks))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_relative_throughput(benchmark):
+    table, rate = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _report(table, rate)
+
+
+def main():
+    _report(*_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.perftest.runner import PerftestConfig, run_bw, run_lat
 from repro.units import pretty_size
 
@@ -29,37 +29,61 @@ LAT_SIZES = [64, 256, 512, 1024, 2048, 4096, 16384]
 BW_SIZES = [256, 1024, 4096, 16384, 65536, 262144, 1 << 20]
 
 
+def _lat_point(point):
+    cfg, size = point
+    return run_lat(cfg, size).avg_us
+
+
+def _bw_point(point):
+    cfg, size = point
+    return run_bw(cfg, size).gbit_per_s
+
+
 def _lat_sweep():
+    points = []
+    for size in LAT_SIZES:
+        points.append((PerftestConfig(system="A", iters=scaled(200), warmup=25),
+                       size))
+        points.append((PerftestConfig(system="A", client="cord", server="cord",
+                                      iters=scaled(200), warmup=25), size))
+    values = iter(parallel_sweep(_lat_point, points))
     table = SweepTable(
         "Fig 5a: CoRD latency overhead on system A (us, CD->CD vs BP->BP)", "size"
     )
     over = table.new_series("RC-send overhead")
     for size in LAT_SIZES:
-        bp = run_lat(PerftestConfig(system="A", iters=scaled(200), warmup=25), size)
-        cd = run_lat(PerftestConfig(system="A", client="cord", server="cord",
-                                    iters=scaled(200), warmup=25), size)
-        over.add(pretty_size(size), cd.avg_us - bp.avg_us)
+        bp = next(values)
+        cd = next(values)
+        over.add(pretty_size(size), cd - bp)
     return table
 
 
 def _bw_sweep():
-    table = SweepTable("Fig 5b: CoRD relative throughput on system A", "size")
+    combos = []
+    points = []
     for transport, op in (("RC", "send"), ("RC", "write"), ("UD", "send")):
-        rel = table.new_series(f"{transport}-{op}")
         for size in BW_SIZES:
             if transport == "UD" and size > 4096:
                 continue
             bp_cfg = PerftestConfig(system="A", transport=transport, op=op,
                                     iters=scaled(1200), warmup=300, window=64)
-            bp = run_bw(bp_cfg, size)
-            cd = run_bw(bp_cfg.with_(client="cord", server="cord"), size)
-            rel.add(pretty_size(size), cd.gbit_per_s / bp.gbit_per_s)
+            combos.append((transport, op, size))
+            points.append((bp_cfg, size))
+            points.append((bp_cfg.with_(client="cord", server="cord"), size))
+    values = iter(parallel_sweep(_bw_point, points))
+    table = SweepTable("Fig 5b: CoRD relative throughput on system A", "size")
+    series = {}
+    for transport, op, size in combos:
+        name = f"{transport}-{op}"
+        if name not in series:
+            series[name] = table.new_series(name)
+        bp = next(values)
+        cd = next(values)
+        series[name].add(pretty_size(size), cd / bp)
     return table
 
 
-@pytest.mark.benchmark(group="fig5")
-def test_fig5a_latency_overhead(benchmark):
-    table = benchmark.pedantic(_lat_sweep, rounds=1, iterations=1)
+def _report_fig5a(table):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     over = table.get("RC-send overhead")
@@ -75,9 +99,7 @@ def test_fig5a_latency_overhead(benchmark):
     emit("fig5a_latency_overhead", text + "\n" + report_checks("fig5a", checks))
 
 
-@pytest.mark.benchmark(group="fig5")
-def test_fig5b_throughput(benchmark):
-    table = benchmark.pedantic(_bw_sweep, rounds=1, iterations=1)
+def _report_fig5b(table):
     header, rows = table.rows()
     text = format_table(header, rows, table.title)
     checks = []
@@ -88,3 +110,22 @@ def test_fig5b_throughput(benchmark):
         checks.append(check_between(
             f"{name}: negligible from some size on", s.y_at("1 MiB"), 0.93, 1.05))
     emit("fig5b_throughput", text + "\n" + report_checks("fig5b", checks))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_latency_overhead(benchmark):
+    _report_fig5a(benchmark.pedantic(_lat_sweep, rounds=1, iterations=1))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_throughput(benchmark):
+    _report_fig5b(benchmark.pedantic(_bw_sweep, rounds=1, iterations=1))
+
+
+def main():
+    _report_fig5a(_lat_sweep())
+    _report_fig5b(_bw_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -37,9 +37,7 @@ def _sweep():
                      iter_scale=iter_scale, system="A")
 
 
-@pytest.mark.benchmark(group="fig6")
-def test_fig6_npb_relative_runtime(benchmark):
-    grid = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def _report(grid):
     table = SweepTable(
         f"Fig 6: NPB class B relative runtime on system A ({RANKS} ranks)",
         "benchmark",
@@ -74,3 +72,16 @@ def test_fig6_npb_relative_runtime(benchmark):
     ipoib_max = max(s_ipoib.y_at(n) for n in DEFAULT_SUITE)
     checks.append(check_between("IPoIB worst case 'up to 2x'", ipoib_max, 1.6, 2.7))
     emit("fig6_npb", text + "\n" + report_checks("fig6", checks, strict=strict))
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_npb_relative_runtime(benchmark):
+    _report(benchmark.pedantic(_sweep, rounds=1, iterations=1))
+
+
+def main():
+    _report(_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ large blocks where the device is the bottleneck.
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, report_checks, scaled
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
 from repro.hw.cpu import Core
 from repro.hw.profiles import SYSTEM_L
 from repro.sim import Simulator
@@ -59,19 +59,23 @@ def _throughput(kind: str, nbytes: int, total: int) -> float:
     return sim.run(sim.process(main()))
 
 
+def _throughput_point(point):
+    return _throughput(*point)
+
+
 def _sweep():
     total = scaled(300, minimum=60)
     blk_total = scaled(60, minimum=20)
+    kinds = ("spdk", "cord", "blk")
+    points = [(kind, nbytes, blk_total if kind == "blk" else total)
+              for nbytes in BLOCK_SIZES for kind in kinds]
+    values = iter(parallel_sweep(_throughput_point, points))
     iops = SweepTable("Storage: kIOPS by dataplane (QD=32; BLK is QD=1)", "block")
     rel = SweepTable("Storage: throughput relative to SPDK", "block")
-    s_iops = {k: iops.new_series(k) for k in ("spdk", "cord", "blk")}
+    s_iops = {k: iops.new_series(k) for k in kinds}
     s_rel = {k: rel.new_series(k) for k in ("cord", "blk")}
     for nbytes in BLOCK_SIZES:
-        tput = {
-            "spdk": _throughput("spdk", nbytes, total),
-            "cord": _throughput("cord", nbytes, total),
-            "blk": _throughput("blk", nbytes, blk_total),
-        }
+        tput = {kind: next(values) for kind in kinds}
         for k, v in tput.items():
             s_iops[k].add(pretty_size(nbytes), v / nbytes * 1e9 / 1e3)
         for k in ("cord", "blk"):
@@ -79,9 +83,7 @@ def _sweep():
     return iops, rel
 
 
-@pytest.mark.benchmark(group="storage")
-def test_storage_dataplanes(benchmark):
-    iops, rel = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def _report(iops, rel):
     h1, r1 = iops.rows(fmt="{:.1f}")
     h2, r2 = rel.rows()
     text = format_table(h1, r1, iops.title) + "\n\n" + format_table(h2, r2, rel.title)
@@ -96,3 +98,17 @@ def test_storage_dataplanes(benchmark):
                       blk.y_at("1 MiB"), 0.5, 1.02),
     ]
     emit("storage_dataplanes", text + "\n" + report_checks("storage", checks))
+
+
+@pytest.mark.benchmark(group="storage")
+def test_storage_dataplanes(benchmark):
+    iops, rel = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _report(iops, rel)
+
+
+def main():
+    _report(*_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -95,11 +95,10 @@ class Fabric:
 
         if src_host == dst_host:
             # NIC hairpin: PCIe out and back in, no wire.
-            yield self.sim.timeout(self._loopback_ns(nbytes))
+            yield self._loopback_ns(nbytes)
             self.bytes_carried += nbytes
             self.messages_carried += 1
-            ev = self.sim.timeout(self.loopback_latency_ns)
-            ev.callbacks.append(lambda _ev, payload=payload: dst.deliver(payload))
+            self.sim.call_later(self.loopback_latency_ns, dst.deliver, payload)
             return
 
         port = self._tx_ports[src_host]
@@ -107,7 +106,7 @@ class Fabric:
             req = port.request()
             yield req
             try:
-                yield self.sim.timeout(self.serialization_ns(nbytes))
+                yield self.serialization_ns(nbytes)
             finally:
                 port.release(req)
         else:
@@ -119,11 +118,10 @@ class Fabric:
                 req = port.request()
                 yield req
                 try:
-                    yield self.sim.timeout(self.serialization_ns(chunk))
+                    yield self.serialization_ns(chunk)
                 finally:
                     port.release(req)
                 remaining -= chunk
         self.bytes_carried += nbytes
         self.messages_carried += 1
-        ev = self.sim.timeout(self.propagation_ns)
-        ev.callbacks.append(lambda _ev, payload=payload: dst.deliver(payload))
+        self.sim.call_later(self.propagation_ns, dst.deliver, payload)

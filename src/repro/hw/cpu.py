@@ -86,7 +86,7 @@ class Core:
 
     def grant_idle_credit(self, credit_ns: float) -> None:
         """Pretend the core idled for ``credit_ns`` (DVFS syscall effect)."""
-        if credit_ns <= 0:
+        if credit_ns <= 0 or not self.system.turbo_enabled:
             return
         self._decay_duty()
         self._duty *= math.exp(-credit_ns / self.profile.dvfs_window_ns)
@@ -105,9 +105,10 @@ class Core:
         yield req
         try:
             if not self.system.turbo_enabled:
+                # Frequency is pinned to nominal, so the duty EMA can never
+                # feed back into timing — skip the per-slice exp() updates.
                 if work_ns > 0:
-                    yield self.sim.timeout(work_ns)
-                    self._absorb_busy(work_ns)
+                    yield work_ns
                     self.busy_ns += work_ns
             else:
                 # Slice long work so duty and frequency co-evolve: a long
@@ -117,7 +118,7 @@ class Core:
                 while remaining > 0:
                     slice_nominal = min(remaining, self.profile.dvfs_window_ns)
                     scaled = slice_nominal / self.frequency_factor
-                    yield self.sim.timeout(scaled)
+                    yield scaled
                     self._absorb_busy(scaled)
                     self.busy_ns += scaled
                     remaining -= slice_nominal
@@ -152,12 +153,18 @@ class Core:
             if not until.processed:
                 yield until
             waited = self.sim.now - start
-            tail = check_ns / self.frequency_factor
-            if tail > 0:
-                yield self.sim.timeout(tail)
-            burnt = waited + tail
-            if burnt > 0:
-                self._absorb_busy(burnt)
+            if self.system.turbo_enabled:
+                tail = check_ns / self.frequency_factor
+                if tail > 0:
+                    yield tail
+                burnt = waited + tail
+                if burnt > 0:
+                    self._absorb_busy(burnt)
+                    self.busy_ns += burnt
+            else:
+                if check_ns > 0:
+                    yield check_ns
+                burnt = waited + check_ns
                 self.busy_ns += burnt
             return burnt
         finally:

@@ -106,7 +106,7 @@ class Link:
         req = res.request()
         yield req
         try:
-            yield self.sim.timeout(self.serialization_ns(nbytes))
+            yield self.serialization_ns(nbytes)
             self.bytes_carried += nbytes
             self.messages_carried += 1
         finally:
@@ -115,5 +115,4 @@ class Link:
         deliver = dst.deliver
         if deliver is None:
             raise HardwareError(f"{dst.name} has no attached receiver")
-        ev = self.sim.timeout(self.propagation_ns)
-        ev.callbacks.append(lambda _ev, payload=payload: deliver(payload))
+        self.sim.call_later(self.propagation_ns, deliver, payload)

@@ -74,6 +74,16 @@ class Nic:
         self._qpn_seq = 0x40
         self._tx_store: Store = Store(sim, name=f"{self.name}.txq")
         self._rx_store: Store = Store(sim, name=f"{self.name}.rxq")
+        # Precomputed process/event names: these are spawned per message, and
+        # per-message f-strings showed up in profiles.
+        self._tx_msg_name = f"{self.name}.tx.msg"
+        self._rx_msg_name = f"{self.name}.rx.msg"
+        self._ex_send_name = f"{self.name}.ex.send"
+        self._ex_write_name = f"{self.name}.ex.write"
+        self._ex_read_name = f"{self.name}.ex.read"
+        self._ex_atomic_name = f"{self.name}.ex.atomic"
+        self._retry_name = f"{self.name}.retry"
+        self._memwatch_name = f"{self.name}.memwatch"
         self._fabric = None  # set by attach()
         self.mr_table: Optional["MrTable"] = None  # set by attach()
         self._started = False
@@ -94,9 +104,11 @@ class Nic:
 
     def deliver(self, msg: WireMessage) -> None:
         """Fabric drops an arriving message into the receive pipeline."""
-        self.sim.trace.emit(self.sim.now, "nic", "rx_arrive",
-                            host=self.host_id, kind=msg.kind, psn=msg.psn,
-                            src_host=msg.src_host, size=msg.length)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "rx_arrive",
+                       host=self.host_id, kind=msg.kind, psn=msg.psn,
+                       src_host=msg.src_host, size=msg.length)
         self._rx_store.put(msg)
 
     def next_qpn(self) -> int:
@@ -130,9 +142,11 @@ class Nic:
         psn = qp.assign_psn() if qp.transport is Transport.RC else 0
         qp.sq_outstanding += 1
         qp.sends_posted += 1
-        self.sim.trace.emit(self.sim.now, "nic", "doorbell",
-                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
-                            opcode=wr.opcode.value, psn=psn, size=wr.length)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "doorbell",
+                       host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
+                       opcode=wr.opcode.value, psn=psn, size=wr.length)
         self._tx_store.put((qp, wr, psn))
 
     def hw_post_recv(self, qp: QueuePair, wr: RecvWR) -> None:
@@ -159,12 +173,10 @@ class Nic:
         while True:
             item = yield self._tx_store.get()
             qp, wr, psn = item  # type: ignore[misc]
-            yield self.sim.timeout(self.profile.wqe_process_ns)
+            yield self.profile.wqe_process_ns
             # Pipeline the rest so the engine can schedule the next WQE
             # while this message is still fetching payload / on the wire.
-            self.sim.process(
-                self._initiate(qp, wr, psn), name=f"{self.name}.tx.msg"
-            )
+            self.sim.spawn(self._initiate(qp, wr, psn), name=self._tx_msg_name)
 
     def _initiate(
         self, qp: QueuePair, wr: SendWR, psn: int, is_retry: bool = False
@@ -179,7 +191,7 @@ class Nic:
             if wr.opcode.reads_local_memory and not wr.inline and wr.length > 0:
                 fill += self.profile.dma_read_lat_ns
             if fill:
-                yield self.sim.timeout(fill)
+                yield fill
 
         dst_host, dst_qpn = qp.destination_for(wr)
         data = wr.data
@@ -227,13 +239,16 @@ class Nic:
             qp.outstanding[psn] = wr
 
         wire_payload = msg.wire_bytes if kind != "read_req" else msg.header_bytes
-        self.sim.trace.emit(self.sim.now, "nic", "tx_start",
-                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
-                            psn=psn, wire_bytes=wire_payload)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "tx_start",
+                       host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
+                       psn=psn, wire_bytes=wire_payload)
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, dst_host, wire_payload, msg)
-        self.sim.trace.emit(self.sim.now, "nic", "tx_done",
-                            host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id, psn=psn)
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "tx_done",
+                       host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id, psn=psn)
         self.counters.tx_msgs += 1
         self.counters.tx_bytes += wire_payload
         qp.bytes_sent += wr.length
@@ -257,8 +272,8 @@ class Nic:
             occupancy = self.profile.rx_process_ns
             if msg.kind in ("ack", "nak_rnr"):
                 occupancy *= ACK_RX_FRACTION
-            yield self.sim.timeout(occupancy)
-            self.sim.process(self._dispatch(msg), name=f"{self.name}.rx.msg")
+            yield occupancy
+            self.sim.spawn(self._dispatch(msg), name=self._rx_msg_name)
 
     def _dispatch(self, msg: WireMessage) -> Generator["Event", object, None]:
         if msg.kind == "ip":
@@ -315,11 +330,11 @@ class Nic:
                 if msg.transport == "RC":
                     qp.rnr_naks += 1
                     self.counters.rnr_naks_sent += 1
-                    self.sim.process(self._send_ack(qp, msg, "nak_rnr"))
+                    self.sim.spawn(self._send_ack(qp, msg, "nak_rnr"))
                 else:
                     self.counters.ud_drops += 1
                 return False
-            self.sim.process(self._exec_send(qp, msg, rwr), name=f"{self.name}.ex.send")
+            self.sim.spawn(self._exec_send(qp, msg, rwr), name=self._ex_send_name)
             return True
 
         if msg.kind == "write":
@@ -329,7 +344,7 @@ class Nic:
             )
             if mr is None:
                 self.counters.remote_access_errors += 1
-                self.sim.process(
+                self.sim.spawn(
                     self._send_ack(qp, msg, "ack", status=WCStatus.REM_ACCESS_ERR)
                 )
                 return True
@@ -340,15 +355,13 @@ class Nic:
                 if rwr is None:
                     qp.rnr_naks += 1
                     self.counters.rnr_naks_sent += 1
-                    self.sim.process(self._send_ack(qp, msg, "nak_rnr"))
+                    self.sim.spawn(self._send_ack(qp, msg, "nak_rnr"))
                     return False
-            self.sim.process(
-                self._exec_write(qp, msg, mr, rwr), name=f"{self.name}.ex.write"
-            )
+            self.sim.spawn(self._exec_write(qp, msg, mr, rwr), name=self._ex_write_name)
             return True
 
         if msg.kind == "read_req":
-            self.sim.process(self._exec_read_req(qp, msg), name=f"{self.name}.ex.read")
+            self.sim.spawn(self._exec_read_req(qp, msg), name=self._ex_read_name)
             return True
 
         if msg.kind == "atomic":
@@ -359,7 +372,7 @@ class Nic:
             mr = self.mr_table.check_remote(msg.rkey, msg.remote_addr, 8, write=True)
             if mr is None:
                 self.counters.remote_access_errors += 1
-                self.sim.process(
+                self.sim.spawn(
                     self._send_ack(qp, msg, "ack", status=WCStatus.REM_ACCESS_ERR)
                 )
                 return True
@@ -374,9 +387,8 @@ class Nic:
             self._notify_memory_watchers(msg.remote_addr, 8)
             self.counters.rx_msgs += 1
             self.counters.rx_bytes += msg.wire_bytes
-            self.sim.process(
-                self._exec_atomic_resp(qp, msg, original),
-                name=f"{self.name}.ex.atomic",
+            self.sim.spawn(
+                self._exec_atomic_resp(qp, msg, original), name=self._ex_atomic_name
             )
             return True
 
@@ -396,7 +408,7 @@ class Nic:
             status = WCStatus.LOC_LEN_ERR
         elif msg.length > 0:
             # Payload DMA pipeline-fill; bandwidth already paid on the wire.
-            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            yield self.profile.dma_write_lat_ns
             if msg.data is not None:
                 assert self.mr_table is not None
                 mr = self.mr_table.check_local(rwr.lkey, rwr.addr, msg.length, write=True)
@@ -417,7 +429,7 @@ class Nic:
         self, qp: QueuePair, msg: WireMessage, mr, rwr: Optional[RecvWR]
     ) -> Generator["Event", object, None]:
         if msg.length > 0:
-            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            yield self.profile.dma_write_lat_ns
             if msg.data is not None:
                 mr.buffer.write(msg.remote_addr - mr.buffer.addr, msg.data)
             self._notify_memory_watchers(msg.remote_addr, msg.length)
@@ -443,7 +455,7 @@ class Nic:
         data: Optional[bytes] = None
         if msg.length > 0:
             # Responder-side payload fetch pipeline fill.
-            yield self.sim.timeout(self.profile.dma_read_lat_ns)
+            yield self.profile.dma_read_lat_ns
             if mr.buffer.data is not None:
                 data = mr.buffer.read(msg.remote_addr - mr.buffer.addr, msg.length)
         resp = WireMessage(
@@ -468,7 +480,7 @@ class Nic:
         self, qp: QueuePair, msg: WireMessage, original: int
     ) -> Generator["Event", object, None]:
         """Return the pre-op value to the initiator."""
-        yield self.sim.timeout(self.profile.ack_ns)
+        yield self.profile.ack_ns
         resp = WireMessage(
             kind="atomic_resp",
             src_host=self.host_id,
@@ -499,7 +511,7 @@ class Nic:
         if wr is None:
             return  # stale response after QP reset
         if msg.length > 0:
-            yield self.sim.timeout(self.profile.dma_write_lat_ns)
+            yield self.profile.dma_write_lat_ns
             if msg.data is not None:
                 assert self.mr_table is not None
                 mr = self.mr_table.check_local(wr.lkey, wr.addr, msg.length, write=True)
@@ -535,12 +547,11 @@ class Nic:
                 )
                 return
             self.counters.retries += 1
-            yield self.sim.timeout(RNR_DELAY_NS)
-            yield self.sim.timeout(self.profile.wqe_process_ns)
+            yield RNR_DELAY_NS
+            yield self.profile.wqe_process_ns
             # Re-transmit, bumping the retry count carried back on a NAK.
-            self.sim.process(
-                self._retransmit(qp, wr, psn, retries + 1),
-                name=f"{self.name}.retry",
+            self.sim.spawn(
+                self._retransmit(qp, wr, psn, retries + 1), name=self._retry_name
             )
             return
         # Positive ACK.
@@ -584,7 +595,7 @@ class Nic:
         kind: str,
         status: WCStatus = WCStatus.SUCCESS,
     ) -> Generator["Event", object, None]:
-        yield self.sim.timeout(self.profile.ack_ns)
+        yield self.profile.ack_ns
         ack = WireMessage(
             kind=kind,
             src_host=self.host_id,
@@ -607,11 +618,13 @@ class Nic:
 
     def _post_cqe(self, cq, cqe: CQE) -> Generator["Event", object, None]:
         """Write a CQE to host memory (timed) and push it."""
-        yield self.sim.timeout(self.profile.dma_write_lat_ns)
-        self.sim.trace.emit(self.sim.now, "nic", "cqe",
-                            host=self.host_id, wr_id=cqe.wr_id,
-                            qpn=cqe.qp_num, status=cqe.status.value,
-                            opcode=cqe.opcode.value, size=cqe.byte_len)
+        yield self.profile.dma_write_lat_ns
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "cqe",
+                       host=self.host_id, wr_id=cqe.wr_id,
+                       qpn=cqe.qp_num, status=cqe.status.value,
+                       opcode=cqe.opcode.value, size=cqe.byte_len)
         cq.push(cqe)
 
     # Memory watchers let applications "poll on memory" (perftest write_lat
@@ -629,6 +642,6 @@ class Nic:
 
     def watch_memory(self, addr: int, length: int):
         """Event that fires when the NIC DMA-writes into [addr, addr+len)."""
-        event = self.sim.event(name=f"{self.name}.memwatch")
+        event = self.sim.event(name=self._memwatch_name)
         self._mem_watchers.append((addr, addr + length, event))
         return event

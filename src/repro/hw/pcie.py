@@ -42,7 +42,7 @@ class PcieBus:
         req = self.res.request()
         yield req
         try:
-            yield self.sim.timeout(self.profile.dma_read_lat_ns + self._occupancy(nbytes))
+            yield self.profile.dma_read_lat_ns + self._occupancy(nbytes)
             self.bytes_read += nbytes
         finally:
             self.res.release(req)
@@ -54,7 +54,7 @@ class PcieBus:
         req = self.res.request()
         yield req
         try:
-            yield self.sim.timeout(self.profile.dma_write_lat_ns + self._occupancy(nbytes))
+            yield self.profile.dma_write_lat_ns + self._occupancy(nbytes)
             self.bytes_written += nbytes
         finally:
             self.res.release(req)

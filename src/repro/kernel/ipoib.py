@@ -54,6 +54,7 @@ class IPoIBDevice:
         self.registry: dict[tuple[int, int], "IPoIBSocket"] = {}
         self._sockets: dict[int, "IPoIBSocket"] = {}
         host.nic.ip_handler = self._on_wire_message
+        self._rx_name = f"ipoib:h{host.host_id}.rx"
         self.rx_messages = 0
         self.tx_messages = 0
 
@@ -75,7 +76,7 @@ class IPoIBDevice:
 
     def _on_wire_message(self, msg: WireMessage) -> None:
         """Called by the NIC rx engine for kind == 'ip' messages."""
-        self.sim.process(self._rx_path(msg), name=f"ipoib:h{self.host.host_id}.rx")
+        self.sim.spawn(self._rx_path(msg), name=self._rx_name)
 
     def _rx_path(self, msg: WireMessage) -> Generator["Event", object, None]:
         kind, payload = msg.token  # type: ignore[misc]
@@ -87,10 +88,8 @@ class IPoIBDevice:
             return
         # Data segment: IRQ delivery + handler, then serialized softirq work.
         sock_id, seq, seg_idx, nsegs, msg_bytes, data, meta = payload
-        yield self.sim.timeout(
-            self.host.kernel.irq.delivery_delay_ns()
-            + self.host.system.cpu.irq_handler_ns
-        )
+        yield (self.host.kernel.irq.delivery_delay_ns()
+               + self.host.system.cpu.irq_handler_ns)
         work = self.profile.rx_softirq_ns(msg.length)
         yield from self.softirq.process(work, self.profile.packets(msg.length))
         sock = self._sockets.get(sock_id)
@@ -116,6 +115,8 @@ class IPoIBSocket:
         self._seq = itertools.count()
         # Credit-based flow control against the peer's receive buffer.
         self._credits = device.profile.sndbuf_bytes
+        self._tx_name = f"sock{self.sock_id}.tx"
+        self._credit_name = f"sock{self.sock_id}.credit"
         self._credit_waiters: deque = deque()
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -144,7 +145,7 @@ class IPoIBSocket:
         if listener is None:
             raise KernelError(f"connection refused: host {dst_host} port {port}")
         # One RTT of handshake, coarsely.
-        yield self.sim.timeout(2 * self.device.host.fabric.propagation_ns)
+        yield 2 * self.device.host.fabric.propagation_ns
         established = self.sim.event(name=f"sock{self.sock_id}.established")
         yield listener._accept_q.put((self, established))
         yield established
@@ -206,9 +207,9 @@ class IPoIBSocket:
             self._credits -= nbytes
         seq = next(self._seq)
         nsegs = max(1, math.ceil(nbytes / prof.burst_bytes)) if nbytes else 1
-        self.sim.process(
+        self.sim.spawn(
             self._tx_segments(target, seq, nbytes, nsegs, data, meta),
-            name=f"sock{self.sock_id}.tx",
+            name=self._tx_name,
         )
         self.bytes_sent += nbytes
 
@@ -293,8 +294,8 @@ class IPoIBSocket:
                 token=("credit", (self.peer.sock_id, nbytes)),
                 header_bytes=44,
             )
-            self.sim.process(
-                self._send_credit(credit), name=f"sock{self.sock_id}.credit"
+            self.sim.spawn(
+                self._send_credit(credit), name=self._credit_name
             )
         return src_host, nbytes, data
 

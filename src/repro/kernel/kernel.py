@@ -25,6 +25,7 @@ class Kernel:
         self.host = host
         self.sim = host.sim
         self.irq = IrqModel(host.sim, host.system, host.host_id)
+        self._irq_name = f"h{host.host_id}.irq"
         self._channels: dict[int, CompletionChannel] = {}
         self._chan_seq = 0
         self.ipoib: Optional["IPoIBDevice"] = None  # created lazily by builder
@@ -56,13 +57,13 @@ class Kernel:
             return  # armed but nobody listening; event is lost (as in verbs)
 
         def irq_path():
-            yield self.sim.timeout(self.irq.delivery_delay_ns())
+            yield self.irq.delivery_delay_ns()
             core = chan.irq_core
             if core is not None:
                 yield from core.run(self.host.system.cpu.irq_handler_ns)
             chan.notify(cq)
 
-        self.sim.process(irq_path(), name=f"h{self.host.host_id}.irq")
+        self.sim.spawn(irq_path(), name=self._irq_name)
 
     # -- sockets --------------------------------------------------------------------
 

@@ -74,7 +74,7 @@ class Softirq:
         req = self.res.request()
         yield req
         try:
-            yield self.sim.timeout(work_ns)
+            yield work_ns
             self.packets_processed += packets
             self.busy_ns += work_ns
         finally:

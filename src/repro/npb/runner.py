@@ -45,6 +45,11 @@ def run_npb(
     )
 
 
+def _suite_point(point: tuple[NpbConfig, str, str]) -> NpbResult:
+    cfg, transport, system = point
+    return run_npb(cfg, transport=transport, system=system)
+
+
 def run_suite(
     names=DEFAULT_SUITE,
     transports=("bypass", "cord", "ipoib"),
@@ -54,12 +59,21 @@ def run_suite(
     system: str = "A",
     iterations: Optional[int] = None,
 ) -> dict[str, dict[str, NpbResult]]:
-    """The fig. 6 grid: benchmark x transport -> result."""
-    out: dict[str, dict[str, NpbResult]] = {}
+    """The fig. 6 grid: benchmark x transport -> result.
+
+    Every cell is an independent cluster simulation with its own seed, so
+    the grid fans out over worker processes (``REPRO_BENCH_WORKERS``).
+    """
+    from repro.bench_support import parallel_sweep
+
+    points = []
     for name in names:
         cfg = NpbConfig(name=name, klass=klass, ranks=ranks,
                         iterations=iterations, iter_scale=iter_scale)
-        out[name] = {}
         for transport in transports:
-            out[name][transport] = run_npb(cfg, transport=transport, system=system)
+            points.append((cfg, transport, system))
+    results = parallel_sweep(_suite_point, points)
+    out: dict[str, dict[str, NpbResult]] = {name: {} for name in names}
+    for (cfg, transport, _), result in zip(points, results):
+        out[cfg.name][transport] = result
     return out

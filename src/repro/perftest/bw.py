@@ -99,7 +99,7 @@ def send_bw(
                 # messages were dropped.  Grace-wait for stragglers, then
                 # account what actually arrived.
                 grace = window * fabric_time + 50_000.0
-                yield sim.timeout(grace)
+                yield grace
                 if len(receiver.recv_cq) == 0:
                     break
             cqes = yield from receiver.dataplane.wait_cq(

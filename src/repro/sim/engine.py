@@ -5,22 +5,59 @@ ordered by ``(time, priority, sequence)`` so same-time events process in
 deterministic FIFO order within a priority class — determinism is a hard
 requirement because hardware profiles carry seeded jitter and benchmark
 results must be exactly reproducible.
+
+Fast path
+---------
+
+Processes may yield a bare ``float``/``int`` number of nanoseconds instead
+of a :class:`~repro.sim.events.Timeout`::
+
+    yield 250.0        # equivalent to: yield sim.timeout(250.0)
+
+The engine then schedules a pooled :class:`_Resume` record and resumes the
+generator straight off the heap — no ``Timeout`` object, no callback list,
+no event state machine.  The record is recycled through a free pool the
+moment it pops, so the steady-state hot loop allocates nothing per delay.
+Scheduling order is identical to the ``Timeout`` path (same
+``(time, priority, sequence)`` key allocated at the same point), so
+simulation results are bit-identical either way; ``REPRO_SIM_FASTPATH=0``
+forces scalar yields through real ``Timeout`` events to prove it (see
+``tests/test_golden_determinism.py``).
+
+:meth:`Simulator.call_later` is the matching primitive for fire-and-forget
+callbacks (e.g. link propagation delivery): a pooled record invoking
+``fn(arg)`` at the scheduled time, again without an Event allocation.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Optional
+import os
+from typing import Callable, Iterable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.process import Process, ProcessGenerator
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import MiniProcess, Process, ProcessGenerator, _Resume
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
 
 
 class _EmptySchedule(Exception):
     """Internal: the event heap ran dry."""
+
+
+class _Callback:
+    """Pooled heap record: invoke ``fn(arg)`` at the scheduled time."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self) -> None:
+        self.fn = None
+        self.arg = None
+
+
+def _env_fastpath() -> bool:
+    return os.environ.get("REPRO_SIM_FASTPATH", "1").lower() not in ("0", "false", "no")
 
 
 class Simulator:
@@ -34,13 +71,24 @@ class Simulator:
     trace:
         Optional pre-built :class:`~repro.sim.trace.Trace`; a disabled one is
         created by default (zero overhead when off).
+    fastpath:
+        Force the scalar-yield fast path on/off; ``None`` (default) reads
+        ``REPRO_SIM_FASTPATH`` from the environment (on unless ``0``).
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Trace] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+        fastpath: Optional[bool] = None,
+    ):
         self._now: float = 0.0
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, int, object]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        self._fastpath: bool = _env_fastpath() if fastpath is None else bool(fastpath)
+        self._resume_pool: list[_Resume] = []
+        self._cb_pool: list[_Callback] = []
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(enabled=False)
 
@@ -70,11 +118,56 @@ class Simulator:
         """Spawn a new process from a generator."""
         return Process(self, generator, name=name)
 
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> "MiniProcess":
+        """Run ``generator`` as a fire-and-forget process.
+
+        Like :meth:`process` but the returned handle is not an event: it
+        cannot be joined or interrupted, and its completion leaves no
+        termination event on the heap.  Use it for hot per-message work
+        whose result nobody waits on (the relative order of all other
+        events is unchanged — see :class:`MiniProcess`).
+        """
+        return MiniProcess(self, generator, name)
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
+
+    def wait_any(self, events: Iterable[Event], name: str = "") -> Event:
+        """First-of waiter without :class:`AnyOf`/``ConditionValue`` overhead.
+
+        Returns an event that succeeds with the *first* sub-event to succeed
+        (the sub-event itself is the value) or fails with the first failure.
+        Unlike :class:`AnyOf` it allocates one shared callback instead of a
+        condition object, a sub-event tuple and a ``ConditionValue`` — the
+        allocation-free way to multiplex a poll loop over several queues.
+        An empty iterable succeeds immediately with ``None``.
+        """
+        out = Event(self, name=name)
+
+        def _first(ev: Event) -> None:
+            if out._value is not _EVENT_PENDING:
+                if not ev._ok:
+                    ev._defused = True
+                return
+            if ev._ok:
+                out.succeed(ev)
+            else:
+                ev._defused = True
+                out.fail(ev._value)  # type: ignore[arg-type]
+
+        armed = False
+        for ev in events:
+            armed = True
+            if ev.callbacks is None:
+                _first(ev)
+            else:
+                ev.callbacks.append(_first)
+        if not armed:
+            out.succeed(None)
+        return out
 
     # -- scheduling --------------------------------------------------------------
 
@@ -85,12 +178,41 @@ class Simulator:
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
         self._seq += 1
 
+    def _schedule_resume(self, process: Process, delay: float, priority: int = NORMAL) -> _Resume:
+        """Fast path: schedule a direct process resume ``delay`` ns from now."""
+        pool = self._resume_pool
+        rec = pool.pop() if pool else _Resume()
+        rec.process = process
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, rec))
+        self._seq += 1
+        return rec
+
+    def call_later(self, delay: float, fn: Callable[[object], None], arg: object = None) -> None:
+        """Run ``fn(arg)`` after ``delay`` ns (fire-and-forget, no Event).
+
+        Equivalent to hanging a callback off a :class:`Timeout` but backed by
+        a pooled record; scheduling order is identical (NORMAL priority, next
+        sequence number).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not self._fastpath:
+            ev = Timeout(self, delay)
+            ev.callbacks.append(lambda _ev, fn=fn, arg=arg: fn(arg))
+            return
+        pool = self._cb_pool
+        rec = pool.pop() if pool else _Callback()
+        rec.fn = fn
+        rec.arg = arg
+        heapq.heappush(self._queue, (self._now + delay, NORMAL, self._seq, rec))
+        self._seq += 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (or fast-path record)."""
         try:
             when, _prio, _seq, event = heapq.heappop(self._queue)
         except IndexError:
@@ -99,16 +221,28 @@ class Simulator:
             raise SimulationError("event scheduled in the past")
         self._now = when
 
+        cls = event.__class__
+        if cls is _Resume:
+            process = event.process
+            event.process = None
+            self._resume_pool.append(event)
+            if process is not None:
+                process._step(None, None)
+            return
+        if cls is _Callback:
+            fn, arg = event.fn, event.arg
+            event.fn = event.arg = None
+            self._cb_pool.append(event)
+            fn(arg)
+            return
+
         callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
         if not event._ok and not event._defused:
             # A failure nobody waited for: surface it instead of losing it.
-            exc = event._value
-            assert isinstance(exc, BaseException)
-            raise exc
+            raise event._value
 
     # -- running ----------------------------------------------------------------
 
@@ -139,24 +273,58 @@ class Simulator:
                     f"run(until={deadline}) is in the past (now={self._now})"
                 )
 
+        # Hot loop: locals bound once, record dispatch inlined.  This is the
+        # innermost loop of every benchmark; it must not allocate.
+        queue = self._queue
+        heappop = heapq.heappop
+        resume_pool = self._resume_pool
+        cb_pool = self._cb_pool
         while True:
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event.callbacks is None:
                 if stop_event._ok:
                     return stop_event._value
-                stop_event.defuse()
+                stop_event._defused = True
                 raise stop_event._value  # type: ignore[misc]
-            if self.peek() > deadline:
-                self._now = deadline if deadline != float("inf") else self._now
-                return None
-            try:
-                self.step()
-            except _EmptySchedule:
+            if not queue:
                 if stop_event is not None:
                     raise SimulationError(
                         "run() stop event will never be triggered: no events left"
-                    ) from None
+                    )
+                if deadline != float("inf"):
+                    self._now = deadline
                 return None
+            if queue[0][0] > deadline:
+                self._now = deadline
+                return None
+
+            when, _prio, _seq, event = heappop(queue)
+            self._now = when
+            cls = event.__class__
+            if cls is _Resume:
+                process = event.process
+                event.process = None
+                resume_pool.append(event)
+                if process is not None:
+                    process._step(None, None)
+                continue
+            if cls is _Callback:
+                fn, arg = event.fn, event.arg
+                event.fn = event.arg = None
+                cb_pool.append(event)
+                fn(arg)
+                continue
+
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     def run_until_idle(self) -> None:
         """Drain every pending event (alias of ``run(None)`` for readability)."""
         self.run(None)
+
+
+# Sentinel shared with events.py for the wait_any fast check.
+from repro.sim.events import _PENDING as _EVENT_PENDING  # noqa: E402

@@ -9,6 +9,7 @@ is processed.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -86,11 +87,15 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, NORMAL, 0.0)
+        # Inlined sim._schedule(self, NORMAL, 0.0): succeed() is the hottest
+        # trigger path (stores, resources, CQ wakeups).
+        sim = self.sim
+        heappush(sim._queue, (sim._now, NORMAL, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -140,26 +145,40 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: object = None, name: str = ""):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + sim._schedule: Timeouts are born triggered,
+        # so skip the pending-state round trip.
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._seq += 1
 
 
 class ConditionValue:
     """Mapping-like result of a condition: events -> values, in wait order."""
 
+    __slots__ = ("events", "_lookup")
+
     def __init__(self) -> None:
         self.events: list[Event] = []
+        #: Lazily built set mirror of ``events`` for O(1) membership tests
+        #: (rebuilt if ``events`` was reassigned/extended since last lookup).
+        self._lookup: Optional[set[Event]] = None
 
     def __getitem__(self, event: Event) -> object:
-        if event not in self.events:
+        if event not in self:
             raise KeyError(repr(event))
         return event.value
 
     def __contains__(self, event: Event) -> bool:
-        return event in self.events
+        lookup = self._lookup
+        if lookup is None or len(lookup) != len(self.events):
+            lookup = self._lookup = set(self.events)
+        return event in lookup
 
     def __iter__(self):
         return iter(self.events)

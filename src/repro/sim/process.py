@@ -1,23 +1,50 @@
 """Generator-based cooperative processes.
 
 A process wraps a generator that ``yield``-s :class:`~repro.sim.events.Event`
-instances.  When the yielded event is processed, the process resumes with the
-event's value (or has the event's exception thrown into it).  A process is
-itself an event, so other processes can wait for ("join") it, and its return
-value (``return x`` in the generator) becomes the event value.
+instances — or bare numbers.  When the yielded event is processed, the
+process resumes with the event's value (or has the event's exception thrown
+into it).  A process is itself an event, so other processes can wait for
+("join") it, and its return value (``return x`` in the generator) becomes
+the event value.
+
+Scalar-yield protocol
+---------------------
+
+``yield 250.0`` (any non-bool ``float``/``int``) means "sleep 250 ns" and is
+exactly equivalent to ``yield sim.timeout(250.0)``.  With the engine fast
+path enabled (the default) the sleep is backed by a pooled resume record
+instead of a Timeout event — no allocation, no callback dispatch — while
+keeping the identical ``(time, priority, sequence)`` heap key, so the event
+interleaving (and therefore every simulation result) is unchanged.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import ProcessInterrupt, SimulationError
-from repro.sim.events import URGENT, Event
+from repro.sim.events import NORMAL, URGENT, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
 ProcessGenerator = Generator[Event, object, object]
+
+
+class _Resume:
+    """Pooled heap record: resume ``process`` with value ``None``.
+
+    The engine's scalar-yield fast path schedules these instead of
+    :class:`~repro.sim.events.Timeout` events.  Tombstoning
+    (``process = None``, done by interrupt delivery) cancels a pending
+    record in place; the engine skips tombstones and recycles them.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self) -> None:
+        self.process = None
 
 
 class Initialize(Event):
@@ -65,21 +92,39 @@ class Interruption(Event):
             except ValueError:
                 pass
         process._target = None
+        pending = process._pending
+        if pending is not None:
+            # Sleeping on a fast-path resume record: tombstone it in place
+            # (the engine skips and recycles it when it pops).
+            pending.process = None
+            process._pending = None
         process._resume(self)
 
 
 class Process(Event):
     """A running simulation process (also usable as a join event)."""
 
-    __slots__ = ("generator", "_target", "is_alive_flag")
+    __slots__ = ("generator", "_target", "_send", "_throw", "_pending")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
-        Initialize(sim, self)
+        self._pending = None  # in-flight fast-path _Resume record, if any
+        if sim._fastpath:
+            # Same (URGENT, seq) heap key Initialize would have used.
+            pool = sim._resume_pool
+            rec = pool.pop() if pool else _Resume()
+            rec.process = self
+            heappush(sim._queue, (sim._now, URGENT, sim._seq, rec))
+            sim._seq += 1
+            self._pending = rec
+        else:
+            Initialize(sim, self)
 
     @property
     def is_alive(self) -> bool:
@@ -97,59 +142,203 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if event._ok:
+            self._step(event._value, None)
+        else:
+            event._defused = True
+            self._step(None, event._value)  # type: ignore[arg-type]
+
+    def _step(self, value: object, exc: Optional[BaseException]) -> None:
+        """Core resume loop: feed ``value``/``exc`` in, dispatch the yield."""
         sim = self.sim
         sim._active_process = self
-        exception: Optional[BaseException] = None
+        self._pending = None
+        send = self._send
         while True:
             try:
-                if event is None or event._ok:
-                    value = None if event is None else event._value
-                    next_event = self.generator.send(value)
+                if exc is None:
+                    target = send(value)
                 else:
-                    event._defused = True
-                    assert isinstance(event._value, BaseException)
-                    next_event = self.generator.throw(event._value)
+                    pending_exc = exc
+                    exc = None
+                    target = self._throw(pending_exc)
             except StopIteration as stop:
                 sim._active_process = None
                 self._ok = True
                 self._value = stop.value
                 sim._schedule(self, URGENT, 0.0)
                 return
-            except BaseException as exc:  # noqa: BLE001 - process crashed
+            except BaseException as crashed:  # noqa: BLE001 - process crashed
                 sim._active_process = None
                 self._ok = False
-                self._value = exc
+                self._value = crashed
                 sim._schedule(self, URGENT, 0.0)
                 return
 
-            if not isinstance(next_event, Event):
-                exception = SimulationError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+            cls = target.__class__
+            if cls is float or cls is int:
+                # Scalar delay.  Exact-type check: bool (an int subclass) and
+                # numpy scalars deliberately fall through to the error path.
+                if target < 0:
+                    value = None
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded a negative delay: {target!r}"
+                    )
+                    continue
+                if sim._fastpath:
+                    # Inlined sim._schedule_resume: one sleep per event-loop
+                    # dispatch makes this the hottest line in the simulator.
+                    pool = sim._resume_pool
+                    rec = pool.pop() if pool else _Resume()
+                    rec.process = self
+                    heappush(sim._queue, (sim._now + target, NORMAL, sim._seq, rec))
+                    sim._seq += 1
+                    self._pending = rec
+                    sim._active_process = None
+                    return
+                target = Timeout(sim, float(target))
+            elif not isinstance(target, Event):
+                value = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
                 )
-                event = Event(sim)
-                event._ok = False
-                event._value = exception
-                event._defused = True
                 continue
-            if next_event.sim is not sim:
-                exception = SimulationError(
+            elif target.sim is not sim:
+                value = None
+                exc = SimulationError(
                     f"process {self.name!r} yielded an event from another simulator"
                 )
-                event = Event(sim)
-                event._ok = False
-                event._value = exception
-                event._defused = True
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = target.callbacks
+            if callbacks is not None:
                 # Not yet processed: park until it is.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
+                callbacks.append(self._resume)
+                self._target = target
                 sim._active_process = None
                 return
             # Already processed: feed its outcome straight back in.
-            event = next_event
+            if target._ok:
+                value = target._value
+                exc = None
+            else:
+                target._defused = True
+                value = None
+                exc = target._value  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         state = "done" if self.triggered else "alive"
         return f"<Process {self.name!r} {state}>"
+
+
+class MiniProcess:
+    """Fire-and-forget process: runs a generator but is not itself an event.
+
+    Used by :meth:`Simulator.spawn` for hot per-message work (NIC message
+    execution, ACK generation, IRQ delivery) that nothing ever joins or
+    interrupts.  Skipping the join-event machinery saves one termination
+    event (allocation + schedule + pop) per spawn.  Dropping that heap
+    entry cannot change the interleaving of the remaining events: it never
+    has callbacks, and removing an allocation from the sequence-number
+    stream preserves the relative order of all other entries.
+
+    A crash in a spawned generator propagates straight out of
+    :meth:`Simulator.run` (there is no join event to defuse it into).
+    """
+
+    __slots__ = ("sim", "name", "generator", "_send", "_throw", "_pending")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "spawn")
+        self.generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
+        self._pending = None
+        if sim._fastpath:
+            pool = sim._resume_pool
+            rec = pool.pop() if pool else _Resume()
+            rec.process = self
+            heappush(sim._queue, (sim._now, URGENT, sim._seq, rec))
+            sim._seq += 1
+            self._pending = rec
+        else:
+            kick = Event(sim, name=self.name)
+            kick._ok = True
+            kick._value = None
+            kick.callbacks.append(self._resume)
+            sim._schedule(kick, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if event._ok:
+            self._step(event._value, None)
+        else:
+            event._defused = True
+            self._step(None, event._value)  # type: ignore[arg-type]
+
+    def _step(self, value: object, exc: Optional[BaseException]) -> None:
+        sim = self.sim
+        sim._active_process = self  # type: ignore[assignment]
+        self._pending = None
+        send = self._send
+        while True:
+            try:
+                if exc is None:
+                    target = send(value)
+                else:
+                    pending_exc = exc
+                    exc = None
+                    target = self._throw(pending_exc)
+            except StopIteration:
+                sim._active_process = None
+                return
+            except BaseException:  # noqa: BLE001 - crash surfaces from run()
+                sim._active_process = None
+                raise
+
+            cls = target.__class__
+            if cls is float or cls is int:
+                if target < 0:
+                    value = None
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded a negative delay: {target!r}"
+                    )
+                    continue
+                if sim._fastpath:
+                    pool = sim._resume_pool
+                    rec = pool.pop() if pool else _Resume()
+                    rec.process = self
+                    heappush(sim._queue, (sim._now + target, NORMAL, sim._seq, rec))
+                    sim._seq += 1
+                    self._pending = rec
+                    sim._active_process = None
+                    return
+                target = Timeout(sim, float(target))
+            elif not isinstance(target, Event):
+                value = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                continue
+            elif target.sim is not sim:
+                value = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded an event from another simulator"
+                )
+                continue
+
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+                sim._active_process = None
+                return
+            if target._ok:
+                value = target._value
+                exc = None
+            else:
+                target._defused = True
+                value = None
+                exc = target._value  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"<MiniProcess {self.name!r}>"

@@ -20,7 +20,7 @@ import heapq
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, NORMAL, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -32,10 +32,19 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim, name=f"req:{resource.name}")
+        # Inlined Event.__init__ with the resource's precomputed request name
+        # (requests are allocated once per core/NIC grab — very hot).  The
+        # callbacks list is left unset; Resource.request fills it in (None
+        # for an inline grant, a fresh list when the request queues).
+        self.sim = resource.sim
+        self.name = resource._req_name
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
-        self._order = resource._next_order()
+        resource._order_seq += 1
+        self._order = resource._order_seq
 
     def __enter__(self) -> "Request":
         return self
@@ -50,12 +59,25 @@ class Request(Event):
 class Resource:
     """FIFO resource with integer capacity."""
 
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "users",
+        "queue",
+        "_order_seq",
+        "_busy_integral",
+        "_last_change",
+        "_req_name",
+    )
+
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = f"req:{name}"
         self.users: list[Request] = []
         self.queue: list[Request] = []
         self._order_seq = 0
@@ -71,8 +93,9 @@ class Resource:
 
     def _account(self) -> None:
         now = self.sim.now
-        self._busy_integral += len(self.users) * (now - self._last_change)
-        self._last_change = now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
 
     def utilization(self, since: float = 0.0) -> float:
         """Average fraction of capacity busy since ``since`` (default t=0)."""
@@ -90,13 +113,25 @@ class Resource:
     # -- protocol ---------------------------------------------------------------
 
     def request(self, priority: int = 0) -> Request:
-        """Claim a slot; the returned event succeeds when granted."""
+        """Claim a slot; the returned event succeeds when granted.
+
+        An uncontended grant completes the request *inline* (the event is
+        born processed), so ``yield req`` continues the requester without a
+        heap round trip — the requester was going to run next at this
+        timestamp anyway.  Contended requests queue and are granted through
+        the event loop by :meth:`release`, preserving FIFO wake order.
+        """
         req = Request(self, priority=priority)
-        self._account()
+        now = self.sim._now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
         if len(self.users) < self.capacity:
             self.users.append(req)
-            req.succeed(req)
+            req._value = req
+            req.callbacks = None
         else:
+            req.callbacks = []
             self._enqueue(req)
         return req
 
@@ -108,15 +143,19 @@ class Resource:
 
     def release(self, req: Request) -> None:
         """Return a slot.  Releasing a queued (ungranted) request cancels it."""
-        self._account()
-        if req in self.users:
+        now = self.sim._now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
+        try:
             self.users.remove(req)
-            nxt = self._dequeue()
-            if nxt is not None:
-                self.users.append(nxt)
-                nxt.succeed(nxt)
-        else:
+        except ValueError:
             self._cancel(req)
+            return
+        nxt = self._dequeue()
+        if nxt is not None:
+            self.users.append(nxt)
+            nxt.succeed(nxt)
 
     def _cancel(self, req: Request) -> None:
         try:
@@ -132,6 +171,8 @@ class PriorityResource(Resource):
 
     Lower priority values are served first, matching SimPy convention.
     """
+
+    __slots__ = ("_heap",)
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "presource"):
         super().__init__(sim, capacity=capacity, name=name)

@@ -13,7 +13,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -23,7 +23,16 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: object):
-        super().__init__(store.sim, name=f"put:{store.name}")
+        # Inlined Event.__init__ with the store's precomputed name — one
+        # StorePut/StoreGet pair is allocated per queue hop, which makes these
+        # the most frequently constructed events in the NIC pipelines.  The
+        # callbacks list is left unset; Store.put fills it in (None when the
+        # item is stored inline, a fresh list when the put queues).
+        self.sim = store.sim
+        self.name = store._put_name
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
 
 
@@ -31,12 +40,29 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, store: "Store", filt: Optional[Callable[[object], bool]] = None):
-        super().__init__(store.sim, name=f"get:{store.name}")
+        # Same lazy-callbacks contract as StorePut (see above).
+        self.sim = store.sim
+        self.name = store._get_name
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.filter = filt
 
 
 class Store:
     """Unbounded-or-bounded FIFO store of arbitrary items."""
+
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "items",
+        "_putters",
+        "_getters",
+        "max_occupancy",
+        "_put_name",
+        "_get_name",
+    )
 
     def __init__(
         self,
@@ -49,6 +75,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
         self.items: deque[object] = deque()
         self._putters: deque[StorePut] = deque()
         self._getters: deque[StoreGet] = deque()
@@ -61,17 +89,47 @@ class Store:
     # -- operations ---------------------------------------------------------------
 
     def put(self, item: object) -> StorePut:
-        """Insert ``item``; the returned event succeeds once it is stored."""
+        """Insert ``item``; the returned event succeeds once it is stored.
+
+        When capacity is free (and no earlier putter is queued) the item is
+        stored and the event completes *inline* — no heap round trip for
+        the ack nobody usually waits on.  A parked getter is still woken
+        through the event loop, exactly as before.
+        """
         event = StorePut(self, item)
-        self._putters.append(event)
-        self._dispatch()
+        items = self.items
+        if not self._putters and len(items) < self.capacity:
+            items.append(item)
+            event._value = item
+            event.callbacks = None
+            if len(items) > self.max_occupancy:
+                self.max_occupancy = len(items)
+            if self._getters:
+                self._serve()
+        else:
+            event.callbacks = []
+            self._putters.append(event)
+            self._dispatch()
         return event
 
     def get(self) -> StoreGet:
-        """Remove the oldest item; the event's value is the item."""
+        """Remove the oldest item; the event's value is the item.
+
+        A get that can be satisfied immediately completes *inline* (the
+        event is born processed), so ``yield store.get()`` in a drain loop
+        continues without parking.  Empty-store gets park as before.
+        """
         event = StoreGet(self)
-        self._getters.append(event)
-        self._dispatch()
+        items = self.items
+        if items and not self._getters:
+            event._value = items.popleft()
+            event.callbacks = None
+            if self._putters:
+                self._dispatch()
+        else:
+            event.callbacks = []
+            self._getters.append(event)
+            self._dispatch()
         return event
 
     def try_get(self) -> Optional[object]:
@@ -93,34 +151,44 @@ class Store:
 
     # -- matching engine --------------------------------------------------------------
 
-    def _admit(self) -> None:
+    def _admit(self) -> bool:
         """Move queued puts into storage while capacity allows."""
-        while self._putters and len(self.items) < self.capacity:
+        moved = False
+        items = self.items
+        while self._putters and len(items) < self.capacity:
             put = self._putters.popleft()
-            self.items.append(put.item)
+            items.append(put.item)
             put.succeed(put.item)
-        self.max_occupancy = max(self.max_occupancy, len(self.items))
+            moved = True
+        if moved and len(items) > self.max_occupancy:
+            self.max_occupancy = len(items)
+        return moved
 
-    def _serve(self) -> None:
+    def _serve(self) -> bool:
         """Hand stored items to waiting getters (FIFO on both sides)."""
-        while self._getters and self.items:
+        moved = False
+        items = self.items
+        while self._getters and items:
             get = self._getters.popleft()
-            get.succeed(self.items.popleft())
+            get.succeed(items.popleft())
+            moved = True
+        return moved
 
     def _dispatch(self) -> None:
-        # Admission can unblock getters and vice versa; loop to fixpoint.
-        before = -1
-        while before != (len(self.items), len(self._putters), len(self._getters)):
-            before = (len(self.items), len(self._putters), len(self._getters))
-            self._admit()
-            self._serve()
+        # Admission can unblock getters and vice versa; loop to fixpoint
+        # (signalled by moved-flags rather than tuple snapshots).
+        while self._admit() | self._serve():
+            pass
 
 
 class FilterStore(Store):
     """Store whose getters may wait for the first item matching a predicate."""
 
+    __slots__ = ()
+
     def get(self, filt: Optional[Callable[[object], bool]] = None) -> StoreGet:  # type: ignore[override]
         event = StoreGet(self, filt)
+        event.callbacks = []
         self._getters.append(event)
         self._dispatch()
         return event
@@ -135,7 +203,8 @@ class FilterStore(Store):
                 return item
         return None
 
-    def _serve(self) -> None:
+    def _serve(self) -> bool:
+        moved = False
         served = True
         while served:
             served = False
@@ -146,6 +215,8 @@ class FilterStore(Store):
                         del self._getters[gi]
                         get.succeed(item)
                         served = True
+                        moved = True
                         break
                 if served:
                     break
+        return moved

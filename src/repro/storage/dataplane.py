@@ -158,8 +158,7 @@ class KernelBlockDataplane(StorageDataplane):
         ev = self._pending.pop(cmd.cmd_id, None)
         if ev is not None:
             delay = (self.system.cpu.irq_entry_ns + self.system.cpu.irq_handler_ns)
-            t = self.sim.timeout(delay)
-            t.callbacks.append(lambda _e: ev.succeed(cmd))
+            self.sim.call_later(delay, ev.succeed, cmd)
 
     def submit(self, cmd: IoCommand) -> Generator["Event", object, None]:
         # Blocking API: submit() performs the whole IO.

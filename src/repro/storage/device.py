@@ -118,6 +118,7 @@ class NvmeDevice:
         #: latency parallelism, not bandwidth multiplication).
         self._bus = Resource(sim, capacity=1, name=f"{name}.bus")
         self._fetchq: Store = Store(sim, name=f"{name}.fetch")
+        self._cmd_name = f"{name}.cmd"
         self.commands_done = 0
         self.bytes_done = 0
         sim.process(self._fetch_engine(), name=f"{name}.fetch")
@@ -148,8 +149,8 @@ class NvmeDevice:
         while True:
             item = yield self._fetchq.get()
             qp, cmd = item  # type: ignore[misc]
-            yield self.sim.timeout(self.profile.fetch_ns)
-            self.sim.process(self._execute(qp, cmd), name=f"{self.name}.cmd")
+            yield self.profile.fetch_ns
+            self.sim.spawn(self._execute(qp, cmd), name=self._cmd_name)
 
     def _execute(self, qp: StorageQueuePair, cmd: IoCommand) -> Generator["Event", object, None]:
         req = self._channels.request()
@@ -157,16 +158,16 @@ class NvmeDevice:
         try:
             media = (self.profile.read_latency_ns if cmd.op == "read"
                      else self.profile.write_latency_ns)
-            yield self.sim.timeout(media)
+            yield media
             bus = self._bus.request()
             yield bus
             try:
-                yield self.sim.timeout(cmd.nbytes / self.profile.bandwidth)
+                yield cmd.nbytes / self.profile.bandwidth
             finally:
                 self._bus.release(bus)
         finally:
             self._channels.release(req)
-        yield self.sim.timeout(self.profile.cqe_ns)
+        yield self.profile.cqe_ns
         self.commands_done += 1
         self.bytes_done += cmd.nbytes
         qp._complete(cmd)

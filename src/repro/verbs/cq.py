@@ -29,6 +29,7 @@ class CompletionQueue:
         self.sim = sim
         self.depth = depth
         self.name = name
+        self._nonempty_name = f"{name}.nonempty"
         self.entries: deque[CQE] = deque()
         self.overflowed = False
         self.armed = False
@@ -81,7 +82,7 @@ class CompletionQueue:
         Fires immediately if it already does.  Used by waiter models to
         avoid simulating every spin of a poll loop.
         """
-        ev = self.sim.event(name=f"{self.name}.nonempty")
+        ev = self.sim.event(name=self._nonempty_name)
         if self.entries:
             ev.succeed(self.sim.now)
         else:

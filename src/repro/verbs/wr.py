@@ -13,7 +13,13 @@ from typing import Optional
 
 
 class Opcode(enum.Enum):
-    """Send-side operation codes (subset of ``ibv_wr_opcode``)."""
+    """Send-side operation codes (subset of ``ibv_wr_opcode``).
+
+    The classification flags (``is_send``, ``reads_local_memory``, …) are
+    plain member attributes precomputed below — they sit on the NIC's
+    per-message path, where property descriptors and tuple membership
+    tests showed up in profiles.
+    """
 
     SEND = "send"
     SEND_WITH_IMM = "send_imm"
@@ -23,31 +29,24 @@ class Opcode(enum.Enum):
     ATOMIC_FETCH_ADD = "atomic_fadd"
     ATOMIC_CMP_SWAP = "atomic_cswap"
 
-    @property
-    def is_write(self) -> bool:
-        return self in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
+    is_write: bool
+    is_send: bool
+    has_imm: bool
+    is_atomic: bool
+    #: Does this op consume a receive WQE at the responder?
+    consumes_recv_wqe: bool
+    #: Does the initiating NIC DMA payload out of local memory?
+    reads_local_memory: bool
 
-    @property
-    def is_send(self) -> bool:
-        return self in (Opcode.SEND, Opcode.SEND_WITH_IMM)
 
-    @property
-    def has_imm(self) -> bool:
-        return self in (Opcode.SEND_WITH_IMM, Opcode.RDMA_WRITE_WITH_IMM)
-
-    @property
-    def is_atomic(self) -> bool:
-        return self in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWAP)
-
-    @property
-    def consumes_recv_wqe(self) -> bool:
-        """Does this op consume a receive WQE at the responder?"""
-        return self.is_send or self is Opcode.RDMA_WRITE_WITH_IMM
-
-    @property
-    def reads_local_memory(self) -> bool:
-        """Does the initiating NIC DMA payload out of local memory?"""
-        return self.is_send or self.is_write
+for _op in Opcode:
+    _op.is_write = _op in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM)
+    _op.is_send = _op in (Opcode.SEND, Opcode.SEND_WITH_IMM)
+    _op.has_imm = _op in (Opcode.SEND_WITH_IMM, Opcode.RDMA_WRITE_WITH_IMM)
+    _op.is_atomic = _op in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWAP)
+    _op.consumes_recv_wqe = _op.is_send or _op is Opcode.RDMA_WRITE_WITH_IMM
+    _op.reads_local_memory = _op.is_send or _op.is_write
+del _op
 
 
 class WCStatus(enum.Enum):
@@ -75,7 +74,7 @@ class AccessFlags(enum.IntFlag):
         return cls.LOCAL_WRITE | cls.REMOTE_WRITE | cls.REMOTE_READ
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWR:
     """A send work request (``ibv_send_wr`` analogue, single SGE).
 
@@ -126,7 +125,7 @@ class SendWR:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWR:
     """A receive work request (``ibv_recv_wr`` analogue, single SGE)."""
 
@@ -136,7 +135,7 @@ class RecvWR:
     lkey: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CQE:
     """A work completion (``ibv_wc`` analogue)."""
 
@@ -159,7 +158,7 @@ class CQE:
         return self.status is WCStatus.SUCCESS
 
 
-@dataclass
+@dataclass(slots=True)
 class WireMessage:
     """One message on the fabric (a transport-level unit, not one packet)."""
 

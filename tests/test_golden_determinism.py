@@ -1,0 +1,98 @@
+"""Golden determinism: benchmark numbers are bit-stable, not just "close".
+
+Three properties the perf work must never break:
+
+1. **Fast path is invisible.**  ``REPRO_SIM_FASTPATH=0`` forces every
+   scalar yield back through real ``Timeout`` events; the resulting tables
+   must be *bit-identical*, proving the pooled-resume fast path is a pure
+   engine optimization.
+2. **Golden values.**  One RC-send point per dataplane on system L (whose
+   profile disables turbo and syscall jitter, so the numbers are plain
+   float arithmetic — no libm variance) must reproduce exactly.  A perf
+   change that shifts these numbers changed simulation semantics, not
+   just speed.
+3. **Worker-count invariance.**  ``parallel_sweep`` must return the same
+   bits serially and fanned over processes, in point order.
+"""
+
+import pytest
+
+from repro.bench_support import parallel_sweep
+from repro.perftest.runner import PerftestConfig, run_bw, run_lat
+
+#: Small fixed workload — independent of REPRO_BENCH_SCALE on purpose.
+SIZE = 4096
+ITERS = 60
+WARMUP = 10
+WINDOW = 16
+
+#: Exact values at seed 7 for the workload above (see property 2).
+GOLDEN = {
+    "bypass": {
+        "bw_duration_ns": 22546.400000001304,
+        "bw_gbit_per_s": 87.20150445303402,
+        "lat_avg_us": 2.2915200000000184,
+    },
+    "cord": {
+        "bw_duration_ns": 32771.52000000002,
+        "bw_gbit_per_s": 59.99355537979315,
+        "lat_avg_us": 3.3865200000000186,
+    },
+}
+
+
+def _cfg(dataplane: str, system: str = "L") -> PerftestConfig:
+    return PerftestConfig(system=system, client=dataplane, server=dataplane,
+                          iters=ITERS, warmup=WARMUP, window=WINDOW)
+
+
+def _measure(dataplane: str, system: str = "L") -> dict:
+    cfg = _cfg(dataplane, system)
+    bw = run_bw(cfg, SIZE)
+    lat = run_lat(cfg, SIZE)
+    return {
+        "bw_duration_ns": bw.duration_ns,
+        "bw_gbit_per_s": bw.gbit_per_s,
+        "lat_avg_us": lat.avg_us,
+    }
+
+
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_golden_values_system_l(dataplane):
+    measured = _measure(dataplane)
+    for key, want in GOLDEN[dataplane].items():
+        got = measured[key]
+        assert repr(got) == repr(want), (
+            f"{dataplane}/{key}: got {got!r}, golden {want!r} — a perf "
+            "change altered simulation results"
+        )
+
+
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_fastpath_bit_identical(dataplane, monkeypatch):
+    fast = _measure(dataplane)
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+    slow = _measure(dataplane)
+    assert {k: repr(v) for k, v in fast.items()} == \
+           {k: repr(v) for k, v in slow.items()}
+
+
+def test_fastpath_bit_identical_jittered(monkeypatch):
+    """System A adds lognormal syscall jitter and DVFS exp() decay — the
+    hardest case for event-ordering equivalence between the two paths."""
+    fast = _measure("cord", system="A")
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+    slow = _measure("cord", system="A")
+    assert {k: repr(v) for k, v in fast.items()} == \
+           {k: repr(v) for k, v in slow.items()}
+
+
+def _sweep_point(size: int) -> float:
+    return run_bw(_cfg("bypass"), size).duration_ns
+
+
+def test_parallel_sweep_worker_invariance():
+    sizes = [256, 4096, 65536]
+    serial = parallel_sweep(_sweep_point, sizes, workers=1)
+    fanned = parallel_sweep(_sweep_point, sizes, workers=2)
+    assert [repr(x) for x in serial] == [repr(x) for x in fanned]

@@ -161,11 +161,150 @@ def test_yield_non_event_is_an_error():
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield "not an event"
 
     sim.process(bad())
     with pytest.raises(SimulationError):
         sim.run()
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_scalar_yield_is_a_delay(fastpath):
+    sim = Simulator(fastpath=fastpath)
+
+    def proc():
+        yield 100.0
+        yield 50  # ints work too
+        return sim.now
+
+    assert sim.run(sim.process(proc())) == 150.0
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_scalar_yield_zero_delay(fastpath):
+    sim = Simulator(fastpath=fastpath)
+    order = []
+
+    def a():
+        yield 0.0
+        order.append("a")
+
+    def b():
+        yield 0.0
+        order.append("b")
+
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert order == ["a", "b"]
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_negative_scalar_yield_is_an_error(fastpath):
+    sim = Simulator(fastpath=fastpath)
+
+    def bad():
+        yield -1.0
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bool_yield_is_not_a_delay():
+    # bool is an int subclass; yielding one is almost certainly a bug, so it
+    # takes the non-event error path rather than sleeping 0/1 ns.
+    sim = Simulator()
+
+    def bad():
+        yield True
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_scalar_and_timeout_interleave_identically(fastpath):
+    sim = Simulator(fastpath=fastpath)
+    order = []
+
+    def scalar():
+        yield 10.0
+        order.append(("scalar", sim.now))
+
+    def timeout():
+        yield sim.timeout(10.0)
+        order.append(("timeout", sim.now))
+
+    sim.process(scalar())
+    sim.process(timeout())
+    sim.run()
+    # Same timestamp: FIFO by spawn order regardless of yield style.
+    assert order == [("scalar", 10.0), ("timeout", 10.0)]
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_interrupt_during_scalar_sleep(fastpath):
+    sim = Simulator(fastpath=fastpath)
+
+    def sleeper():
+        try:
+            yield us(100)
+            return "slept"
+        except ProcessInterrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def poker(victim):
+        yield us(1)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper())
+    sim.process(poker(victim))
+    assert sim.run(victim) == ("interrupted", "wake up", us(1))
+    # The cancelled sleep record stays queued (like a detached Timeout) but
+    # drains without resuming the terminated process.
+    sim.run()
+    assert sim.now == us(100)
+
+
+def test_call_later_runs_callback():
+    sim = Simulator()
+    seen = []
+    sim.call_later(25.0, seen.append, "hello")
+    sim.run()
+    assert sim.now == 25.0
+    assert seen == ["hello"]
+
+
+def test_call_later_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1.0, lambda _: None)
+
+
+def test_wait_any_returns_first_event():
+    sim = Simulator()
+    slow = sim.timeout(100.0, value="slow")
+    fast = sim.timeout(10.0, value="fast")
+    first = sim.run(sim.wait_any([slow, fast]))
+    assert first is fast
+    assert first.value == "fast"
+
+
+def test_wait_any_with_already_processed_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()  # process `done`
+    first = sim.run(sim.wait_any([done, sim.timeout(50.0)]))
+    assert first is done
+    assert sim.now == 0.0
+
+
+def test_wait_any_empty_succeeds_immediately():
+    sim = Simulator()
+    assert sim.run(sim.wait_any([])) is None
 
 
 def test_interrupt_wakes_process_early():
