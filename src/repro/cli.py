@@ -107,9 +107,16 @@ def cmd_npb(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
-    """Run one traced send and print the message's life."""
-    from repro.analysis import format_timeline, message_timeline
+def _emit_text(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text)
+
+
+def _run_traced_pair(args, iters: int = 1, telemetry: bool = False):
+    """Run ``iters`` traced RC sends; returns (sim, host_a, host_b)."""
     from repro.cluster import build_pair
     from repro.core.endpoint import make_rc_pair
     from repro.hw.profiles import get_profile
@@ -118,24 +125,59 @@ def cmd_trace(args) -> int:
     from repro.verbs.wr import Opcode, RecvWR, SendWR
 
     sim = Simulator(seed=args.seed, trace=Trace(enabled=True))
+    if telemetry:
+        sim.telemetry.enabled = True
     _fabric, host_a, host_b = build_pair(sim, get_profile(args.system))
 
     def main_proc():
         a, b = yield from make_rc_pair(host_a, host_b, args.client, args.server)
-        sim.trace.clear()  # drop setup noise; trace just the message
-        yield from b.post_recv(RecvWR(wr_id=1, addr=b.buf.addr,
-                                      length=b.buf.length, lkey=b.mr.lkey))
-        yield from a.post_send(SendWR(wr_id=1, opcode=Opcode.SEND,
-                                      addr=a.buf.addr, length=args.size,
-                                      lkey=a.mr.lkey))
-        yield from b.wait_recv()
-        yield from a.wait_send()
+        sim.trace.clear()  # drop setup noise; trace just the messages
+        for i in range(iters):
+            yield from b.post_recv(RecvWR(wr_id=i + 1, addr=b.buf.addr,
+                                          length=b.buf.length, lkey=b.mr.lkey))
+            yield from a.post_send(SendWR(wr_id=i + 1, opcode=Opcode.SEND,
+                                          addr=a.buf.addr, length=args.size,
+                                          lkey=a.mr.lkey))
+            yield from b.wait_recv()
+            yield from a.wait_send()
 
     sim.run(sim.process(main_proc()))
     sim.run()
-    print(f"life of one {args.size} B RC send, "
-          f"{args.client}->{args.server}, system {args.system}:\n")
-    print(format_timeline(message_timeline(sim.trace)))
+    return sim, host_a, host_b
+
+
+def cmd_trace(args) -> int:
+    """Run traced sends; print a timeline or export the trace."""
+    import json
+
+    from repro.analysis import format_timeline, message_timeline
+    from repro.telemetry import chrome_trace, jsonl_lines
+
+    sim, _host_a, _host_b = _run_traced_pair(args, iters=args.iters)
+
+    if args.format == "chrome":
+        _emit_text(json.dumps(chrome_trace(sim.trace)), args.output)
+        return 0
+    if args.format == "jsonl":
+        _emit_text("\n".join(jsonl_lines(sim.trace)), args.output)
+        return 0
+    header = (f"life of one {args.size} B RC send, "
+              f"{args.client}->{args.server}, system {args.system}:\n")
+    _emit_text(header + "\n" + format_timeline(message_timeline(sim.trace)),
+               args.output)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a short telemetry-enabled exchange and dump the metrics snapshot."""
+    import json
+
+    from repro.telemetry import metrics_snapshot
+
+    sim, host_a, host_b = _run_traced_pair(args, iters=args.iters, telemetry=True)
+    snap = metrics_snapshot(sim, hosts=[host_a, host_b])
+    _emit_text(json.dumps(snap, indent=2, sort_keys=True, default=str),
+               args.output)
     return 0
 
 
@@ -191,7 +233,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--server", choices=["bypass", "cord"], default="bypass")
     p_trace.add_argument("--size", type=int, default=4096)
     p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.add_argument("--iters", type=int, default=1,
+                         help="number of traced sends")
+    p_trace.add_argument("--format", choices=["timeline", "chrome", "jsonl"],
+                         default="timeline",
+                         help="timeline: human-readable; chrome: Perfetto-"
+                              "loadable trace-event JSON; jsonl: raw records")
+    p_trace.add_argument("--output", default=None,
+                         help="write to this file instead of stdout")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="telemetry metrics snapshot of a short exchange"
+    )
+    p_metrics.add_argument("--system", choices=sorted(PROFILES), default="L")
+    p_metrics.add_argument("--client", choices=["bypass", "cord"], default="bypass")
+    p_metrics.add_argument("--server", choices=["bypass", "cord"], default="bypass")
+    p_metrics.add_argument("--size", type=int, default=4096)
+    p_metrics.add_argument("--seed", type=int, default=7)
+    p_metrics.add_argument("--iters", type=int, default=8,
+                           help="number of sends in the exchange")
+    p_metrics.add_argument("--output", default=None,
+                           help="write to this file instead of stdout")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_prof = sub.add_parser("profiles", help="show the calibrated testbeds")
     p_prof.set_defaults(func=cmd_profiles)

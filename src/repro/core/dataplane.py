@@ -65,6 +65,35 @@ class Dataplane:
         self.polls = 0
         self._channels: dict[int, "CompletionChannel"] = {}
 
+    # -- telemetry helpers (all callers guard on trace/telemetry .enabled) --------
+
+    def _begin_span(self, op: str, qpn: int, wr_id: int, size: int) -> int:
+        """Allocate a span id and emit its ``op_begin`` record."""
+        trace = self.sim.trace
+        span = trace.new_span()
+        trace.emit(self.sim.now, "span", "op_begin", span=span,
+                   host=self.host.host_id, op=op, dataplane=self.tag,
+                   qpn=qpn, wr_id=wr_id, size=size)
+        return span
+
+    def _end_span(self, span: int) -> None:
+        self.sim.trace.emit(self.sim.now, "span", "op_end", span=span,
+                            host=self.host.host_id)
+
+    def _finish_spans(self, cqes: list[CQE]) -> None:
+        """The application just observed these completions: close their spans."""
+        trace = self.sim.trace
+        now = self.sim.now
+        host = self.host.host_id
+        for cqe in cqes:
+            if cqe.span is not None:
+                trace.emit(now, "span", "op_end", span=cqe.span, host=host)
+
+    def _count_op(self, op: str, n: int = 1, size: float = 0.0) -> None:
+        counter = self.sim.telemetry.scope(self.host.name).counter("dataplane.ops")
+        for _ in range(n):
+            counter.inc(size, key=f"{self.tag}.{op}")
+
     # -- interface ---------------------------------------------------------------
 
     def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
@@ -213,6 +242,10 @@ class BypassDataplane(Dataplane):
     tag = "BP"
 
     def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
+        if self.sim.trace.enabled:
+            wr.span = self._begin_span("post_send", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_send", size=wr.length)
         wr.inline = driver.should_inline(self.system, qp, wr, cord=False)
         cpu = driver.post_send_cpu_ns(self.system, wr, wr.inline)
         cpu += driver.doorbell_cpu_ns(self.system)
@@ -221,9 +254,16 @@ class BypassDataplane(Dataplane):
         self.ops_posted += 1
 
     def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator["Event", object, None]:
+        span = None
+        if self.sim.trace.enabled:
+            span = self._begin_span("post_recv", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_recv", size=wr.length)
         yield from self.core.run(driver.post_recv_cpu_ns(self.system))
         self.host.nic.hw_post_recv(qp, wr)
         self.ops_posted += 1
+        if span is not None:
+            self._end_span(span)
 
     def post_recv_many(
         self, qp: QueuePair, wrs: list[RecvWR]
@@ -248,6 +288,11 @@ class BypassDataplane(Dataplane):
     ) -> Generator["Event", object, None]:
         if not wrs:
             return
+        if self.sim.trace.enabled:
+            for wr in wrs:
+                wr.span = self._begin_span("post_send", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_send", n=len(wrs))
         cpu = 0.0
         for wr in wrs:
             wr.inline = driver.should_inline(self.system, qp, wr, cord=False)
@@ -267,6 +312,8 @@ class BypassDataplane(Dataplane):
         )
         yield from self.core.run(cost)
         self.polls += 1
+        if self.sim.trace.enabled and cqes:
+            self._finish_spans(cqes)
         return cqes
 
     def _charge_poll(self, hit: bool) -> Generator["Event", object, None]:
@@ -316,6 +363,10 @@ class CordDataplane(Dataplane):
     # -- interface ----------------------------------------------------------------
 
     def post_send(self, qp: QueuePair, wr: SendWR) -> Generator["Event", object, None]:
+        if self.sim.trace.enabled:
+            wr.span = self._begin_span("post_send", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_send", size=wr.length)
         wr.inline = driver.should_inline(self.system, qp, wr, cord=True)
         fast = driver.post_send_cpu_ns(self.system, wr, wr.inline)
         fast += driver.doorbell_cpu_ns(self.system)
@@ -328,6 +379,11 @@ class CordDataplane(Dataplane):
         self.ops_posted += 1
 
     def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator["Event", object, None]:
+        span = None
+        if self.sim.trace.enabled:
+            span = self._begin_span("post_recv", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_recv", size=wr.length)
         ctx = OpContext(
             now=self.sim.now, host=self.host, op="post_recv",
             qp=qp, recv_wr=wr, tenant=self.tenant,
@@ -335,6 +391,8 @@ class CordDataplane(Dataplane):
         yield from self._interpose(ctx, driver.post_recv_cpu_ns(self.system))
         self.host.nic.hw_post_recv(qp, wr)
         self.ops_posted += 1
+        if span is not None:
+            self._end_span(span)
 
     def post_recv_many(
         self, qp: QueuePair, wrs: list[RecvWR]
@@ -392,6 +450,11 @@ class CordDataplane(Dataplane):
     ) -> Generator["Event", object, None]:
         if not wrs:
             return
+        if self.sim.trace.enabled:
+            for wr in wrs:
+                wr.span = self._begin_span("post_send", qp.qpn, wr.wr_id, wr.length)
+        if self.sim.telemetry.enabled:
+            self._count_op("post_send", n=len(wrs))
         # One syscall + one serialization carries the chain; the policy
         # chain still inspects every WR, and the per-WR driver fast path
         # still runs (in the kernel).
@@ -432,6 +495,8 @@ class CordDataplane(Dataplane):
         base = self.system.cpu.poll_hit_ns if cqes else self.system.cpu.poll_miss_ns
         yield from self._interpose(ctx, base)
         self.polls += 1
+        if self.sim.trace.enabled and cqes:
+            self._finish_spans(cqes)
         return cqes
 
     def _charge_poll(self, hit: bool) -> Generator["Event", object, None]:

@@ -29,12 +29,27 @@ class FlowRecord:
     #: log2 message-size histogram: bucket i counts sizes in [2^i, 2^(i+1)).
     size_hist: dict[int, int] = field(default_factory=dict)
 
+    @property
+    def duration_ns(self) -> float:
+        """Observed lifetime: first to last accounted operation (0 for a
+        single-op flow — the same degenerate case the rates guard)."""
+        return self.last_ns - self.first_ns
+
     def message_rate_per_s(self) -> float:
-        span = self.last_ns - self.first_ns
+        span = self.duration_ns
         sends = self.ops.get("post_send", 0)
         if span <= 0 or sends < 2:
             return 0.0
         return (sends - 1) / span * 1e9
+
+    def byte_rate_per_s(self) -> float:
+        """Send goodput over the flow's lifetime (same guards as the
+        message rate: a single-op or zero-duration flow has no rate)."""
+        span = self.duration_ns
+        sends = self.ops.get("post_send", 0)
+        if span <= 0 or sends < 2:
+            return 0.0
+        return self.bytes_sent / span * 1e9
 
 
 class FlowStats(Policy):
@@ -74,7 +89,9 @@ class FlowStats(Policy):
                     "qpn": rec.qpn,
                     "ops": dict(rec.ops),
                     "bytes_sent": rec.bytes_sent,
+                    "duration_ns": rec.duration_ns,
                     "msg_rate_per_s": rec.message_rate_per_s(),
+                    "byte_rate_per_s": rec.byte_rate_per_s(),
                     "size_hist": dict(rec.size_hist),
                 }
             )

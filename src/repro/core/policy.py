@@ -84,6 +84,15 @@ class PolicyChain:
         charge), matching an in-kernel early return.
         """
         total = 0.0
+        host = ctx.host
+        if host is not None and host.sim.telemetry.enabled:
+            tele = host.sim.telemetry
+            cost_counter = tele.scope(host.name).counter("policy.eval_ns")
+            for policy in self.policies:
+                cost = policy.evaluate(ctx)
+                cost_counter.inc(cost, key=policy.name)
+                total += cost
+            return total
         for policy in self.policies:
             total += policy.evaluate(ctx)
         return total

@@ -46,6 +46,8 @@ class Core:
         self.name = name or f"core{index}"
         self.res = Resource(sim, capacity=1, name=self.name)
         self._rng = sim.rng.stream(f"cpu:{self.name}")
+        #: Telemetry scope: core names are "<host>.coreN" (host scope).
+        self._scope = self.name.split(".", 1)[0]
         # Duty-cycle EMA state for the DVFS governor.
         self._duty: float = 0.0
         self._duty_t: float = sim.now
@@ -136,6 +138,9 @@ class Core:
         base = self.system.syscall_cost() + kernel_work_ns
         cost = lognormal_jitter(self._rng, base, self.system.syscall_jitter_cv)
         self.syscalls += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("cpu.syscalls").inc(cost, key=self.name)
         yield from self.run(cost)
         self.grant_idle_credit(self.profile.dvfs_syscall_credit_ns)
 

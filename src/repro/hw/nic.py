@@ -86,6 +86,8 @@ class Nic:
         self._memwatch_name = f"{self.name}.memwatch"
         self._fabric = None  # set by attach()
         self.mr_table: Optional["MrTable"] = None  # set by attach()
+        #: Telemetry scope (matches Host.name).
+        self._scope = f"host{host_id}"
         self._started = False
         self._mem_watchers: list[tuple[int, int, object]] = []
         #: Set by the IPoIB device: receives kind == "ip" wire messages.
@@ -109,6 +111,14 @@ class Nic:
             trace.emit(self.sim.now, "nic", "rx_arrive",
                        host=self.host_id, kind=msg.kind, psn=msg.psn,
                        src_host=msg.src_host, size=msg.length)
+            if msg.span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=msg.span,
+                           stage="rx_arrive", host=self.host_id, comp="nic.rx")
+        tele = self.sim.telemetry
+        if tele.enabled:
+            reg = tele.scope(self._scope)
+            reg.histogram("nic.rxq.occupancy").observe(len(self._rx_store.items))
+            reg.counter("nic.rx.delivered").inc(msg.wire_bytes, key=msg.kind)
         self._rx_store.put(msg)
 
     def next_qpn(self) -> int:
@@ -147,6 +157,14 @@ class Nic:
             trace.emit(self.sim.now, "nic", "doorbell",
                        host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
                        opcode=wr.opcode.value, psn=psn, size=wr.length)
+            if wr.span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=wr.span,
+                           stage="doorbell", host=self.host_id, comp="nic.tx")
+        tele = self.sim.telemetry
+        if tele.enabled:
+            reg = tele.scope(self._scope)
+            reg.counter("nic.tx.posted").inc(wr.length, key=wr.opcode.value)
+            reg.histogram("nic.txq.occupancy").observe(len(self._tx_store.items))
         self._tx_store.put((qp, wr, psn))
 
     def hw_post_recv(self, qp: QueuePair, wr: RecvWR) -> None:
@@ -182,6 +200,10 @@ class Nic:
         self, qp: QueuePair, wr: SendWR, psn: int, is_retry: bool = False
     ) -> Generator["Event", object, None]:
         """Move one message from local memory onto the wire."""
+        trace = self.sim.trace
+        if trace.enabled and wr.span is not None:
+            trace.emit(self.sim.now, "span", "mark", span=wr.span,
+                       stage="wqe_fetch", host=self.host_id, comp="nic.tx")
         if not is_retry:
             # Pipeline-fill: WQE fetch unless the CPU wrote it inline with
             # the doorbell (BlueFlame-style), then payload first-burst fetch.
@@ -234,21 +256,27 @@ class Nic:
             meta=wr.meta,
             atomic=(wr.opcode, wr.compare_add, wr.swap) if kind == "atomic" else None,
             header_bytes=header,
+            span=wr.span,
         )
         if qp.transport is Transport.RC:
             qp.outstanding[psn] = wr
 
         wire_payload = msg.wire_bytes if kind != "read_req" else msg.header_bytes
-        trace = self.sim.trace
         if trace.enabled:
             trace.emit(self.sim.now, "nic", "tx_start",
                        host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id,
                        psn=psn, wire_bytes=wire_payload)
+            if wr.span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=wr.span,
+                           stage="tx_wire", host=self.host_id, comp="wire")
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, dst_host, wire_payload, msg)
         if trace.enabled:
             trace.emit(self.sim.now, "nic", "tx_done",
                        host=self.host_id, qpn=qp.qpn, wr_id=wr.wr_id, psn=psn)
+            if wr.span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=wr.span,
+                           stage="tx_done", host=self.host_id, comp="wire")
         self.counters.tx_msgs += 1
         self.counters.tx_bytes += wire_payload
         qp.bytes_sent += wr.length
@@ -260,7 +288,7 @@ class Nic:
                 yield from self._post_cqe(
                     qp.send_cq,
                     CQE(wr_id=wr.wr_id, status=WCStatus.SUCCESS, opcode=wr.opcode,
-                        byte_len=wr.length, qp_num=qp.qpn),
+                        byte_len=wr.length, qp_num=qp.qpn, span=wr.span),
                 )
 
     # -- receive path -----------------------------------------------------------------
@@ -403,6 +431,10 @@ class Nic:
     def _exec_send(
         self, qp: QueuePair, msg: WireMessage, rwr: RecvWR
     ) -> Generator["Event", object, None]:
+        trace = self.sim.trace
+        if trace.enabled and msg.span is not None:
+            trace.emit(self.sim.now, "span", "mark", span=msg.span,
+                       stage="rx_exec", host=self.host_id, comp="nic.rx")
         status = WCStatus.SUCCESS
         if msg.length > rwr.length:
             status = WCStatus.LOC_LEN_ERR
@@ -420,7 +452,7 @@ class Nic:
             qp.recv_cq,
             CQE(wr_id=rwr.wr_id, status=status, opcode=Opcode.SEND,
                 byte_len=msg.length, qp_num=qp.qpn, src_qp=msg.src_qpn,
-                imm=msg.imm, data=msg.data, meta=msg.meta),
+                imm=msg.imm, data=msg.data, meta=msg.meta, span=msg.span),
         )
         if msg.transport == "RC":
             yield from self._send_ack(qp, msg, "ack")
@@ -428,6 +460,10 @@ class Nic:
     def _exec_write(
         self, qp: QueuePair, msg: WireMessage, mr, rwr: Optional[RecvWR]
     ) -> Generator["Event", object, None]:
+        trace = self.sim.trace
+        if trace.enabled and msg.span is not None:
+            trace.emit(self.sim.now, "span", "mark", span=msg.span,
+                       stage="rx_exec", host=self.host_id, comp="nic.rx")
         if msg.length > 0:
             yield self.profile.dma_write_lat_ns
             if msg.data is not None:
@@ -441,11 +477,15 @@ class Nic:
                 CQE(wr_id=rwr.wr_id, status=WCStatus.SUCCESS,
                     opcode=Opcode.RDMA_WRITE_WITH_IMM, byte_len=msg.length,
                     qp_num=qp.qpn, src_qp=msg.src_qpn, imm=msg.imm,
-                    meta=msg.meta),
+                    meta=msg.meta, span=msg.span),
             )
         yield from self._send_ack(qp, msg, "ack")
 
     def _exec_read_req(self, qp: QueuePair, msg: WireMessage) -> Generator["Event", object, None]:
+        trace = self.sim.trace
+        if trace.enabled and msg.span is not None:
+            trace.emit(self.sim.now, "span", "mark", span=msg.span,
+                       stage="rx_exec", host=self.host_id, comp="nic.rx")
         assert self.mr_table is not None
         mr = self.mr_table.check_remote(msg.rkey, msg.remote_addr, msg.length, write=False)
         if mr is None:
@@ -470,6 +510,7 @@ class Nic:
             data=data,
             token=msg.token,
             header_bytes=HEADER_BYTES,
+            span=msg.span,
         )
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, msg.src_host, resp.wire_bytes, resp)
@@ -493,6 +534,7 @@ class Nic:
             data=original.to_bytes(8, "little"),
             token=msg.token,
             header_bytes=HEADER_BYTES,
+            span=msg.span,
         )
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, msg.src_host,
@@ -522,7 +564,8 @@ class Nic:
             yield from self._post_cqe(
                 qp.send_cq,
                 CQE(wr_id=wr.wr_id, status=WCStatus.SUCCESS, opcode=wr.opcode,
-                    byte_len=msg.length, qp_num=qp.qpn, data=msg.data),
+                    byte_len=msg.length, qp_num=qp.qpn, data=msg.data,
+                    span=wr.span),
             )
 
     def _handle_response(self, msg: WireMessage) -> Generator["Event", object, None]:
@@ -543,7 +586,8 @@ class Nic:
                 yield from self._post_cqe(
                     qp.send_cq,
                     CQE(wr_id=wr.wr_id, status=WCStatus.RNR_RETRY_EXC_ERR,
-                        opcode=wr.opcode, byte_len=wr.length, qp_num=qp.qpn),
+                        opcode=wr.opcode, byte_len=wr.length, qp_num=qp.qpn,
+                        span=wr.span),
                 )
                 return
             self.counters.retries += 1
@@ -564,7 +608,7 @@ class Nic:
             yield from self._post_cqe(
                 qp.send_cq,
                 CQE(wr_id=wr.wr_id, status=status, opcode=wr.opcode,
-                    byte_len=wr.length, qp_num=qp.qpn),
+                    byte_len=wr.length, qp_num=qp.qpn, span=wr.span),
             )
 
     def _retransmit(
@@ -582,6 +626,7 @@ class Nic:
             remote_addr=wr.remote_addr, rkey=wr.rkey,
             data=wr.data, token=(qp.qpn, psn),
             meta=wr.meta, header_bytes=header, retries=retries,
+            span=wr.span,
         )
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, dst_host, msg.wire_bytes, msg)
@@ -608,7 +653,12 @@ class Nic:
             token=request.token,
             header_bytes=HEADER_BYTES,
             retries=request.retries,
+            span=request.span,
         )
+        trace = self.sim.trace
+        if trace.enabled and request.span is not None:
+            trace.emit(self.sim.now, "span", "mark", span=request.span,
+                       stage="ack", host=self.host_id, comp="nic.tx")
         assert self._fabric is not None
         yield from self._fabric.transmit(self.host_id, request.src_host, ack.wire_bytes, ack)
         if kind == "ack":
@@ -625,7 +675,13 @@ class Nic:
                        host=self.host_id, wr_id=cqe.wr_id,
                        qpn=cqe.qp_num, status=cqe.status.value,
                        opcode=cqe.opcode.value, size=cqe.byte_len)
+            if cqe.span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=cqe.span,
+                           stage="cqe", host=self.host_id, comp="cq")
         cq.push(cqe)
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).histogram("cq.depth").observe(len(cq.entries))
 
     # Memory watchers let applications "poll on memory" (perftest write_lat
     # detects arrival by spinning on the target buffer's last byte).

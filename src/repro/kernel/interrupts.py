@@ -33,6 +33,7 @@ class IrqModel:
         self.sim = sim
         self.system = system
         self._rng = sim.rng.stream(f"irq:h{host_id}")
+        self._scope = f"host{host_id}"
         self.delivered = 0
 
     def delivery_delay_ns(self) -> float:
@@ -41,6 +42,9 @@ class IrqModel:
         cpu = self.system.cpu
         base = self.system.nic.irq_moderation_ns + cpu.irq_entry_ns
         self.delivered += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("kernel.irqs").inc()
         return lognormal_jitter(self._rng, base, self.system.syscall_jitter_cv)
 
 

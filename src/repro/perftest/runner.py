@@ -7,6 +7,8 @@ perftest binary.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Generator, Optional
 
@@ -22,6 +24,35 @@ from repro.sim import Simulator
 
 OPS = ("send", "read", "write")
 TRANSPORTS = ("RC", "UD")
+
+#: Opt-in benchmark telemetry: set REPRO_TELEMETRY=1 to run every
+#: measurement with tracing + metrics on and export Chrome-trace/metrics
+#: JSON into REPRO_TELEMETRY_DIR (default results/telemetry).  Telemetry
+#: never changes measured results (see tests/test_golden_determinism.py).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+#: Trace ring-buffer cap while telemetry is on (bounds benchmark memory).
+TELEMETRY_MAX_RECORDS = 200_000
+
+
+def _telemetry_on() -> bool:
+    return os.environ.get(TELEMETRY_ENV, "").lower() in ("1", "true", "yes", "on")
+
+
+def _export_telemetry(sim: Simulator, config: "PerftestConfig", size: int,
+                      kind: str, hosts) -> None:
+    """Dump this measurement's trace + metrics (REPRO_TELEMETRY=1 only)."""
+    from repro.telemetry import chrome_trace, metrics_snapshot
+
+    outdir = os.environ.get(TELEMETRY_DIR_ENV, os.path.join("results", "telemetry"))
+    os.makedirs(outdir, exist_ok=True)
+    stem = (f"{kind}_{config.system}_{config.transport}_{config.op}_"
+            f"{config.client}-{config.server}_{size}")
+    with open(os.path.join(outdir, stem + ".trace.json"), "w") as fh:
+        json.dump(chrome_trace(sim.trace), fh)
+    with open(os.path.join(outdir, stem + ".metrics.json"), "w") as fh:
+        json.dump(metrics_snapshot(sim, hosts=hosts), fh,
+                  indent=2, sort_keys=True, default=str)
 
 
 @dataclass(frozen=True)
@@ -65,7 +96,15 @@ def _build(
     policies_client: Optional[PolicyChain] = None,
     policies_server: Optional[PolicyChain] = None,
 ) -> tuple[Simulator, Endpoint, Endpoint]:
-    sim = Simulator(seed=config.seed)
+    if _telemetry_on():
+        from repro.sim.trace import Trace
+
+        sim = Simulator(seed=config.seed,
+                        trace=Trace(enabled=True,
+                                    max_records=TELEMETRY_MAX_RECORDS))
+        sim.telemetry.enabled = True
+    else:
+        sim = Simulator(seed=config.seed)
     _fabric, host_a, host_b = build_pair(sim, config.profile)
     holder: dict[str, tuple[Endpoint, Endpoint]] = {}
 
@@ -106,7 +145,10 @@ def run_lat(config: PerftestConfig, size: int) -> LatencyResult:
         )
         return result
 
-    return sim.run(sim.process(main()))
+    result = sim.run(sim.process(main()))
+    if _telemetry_on():
+        _export_telemetry(sim, config, size, "lat", [client.host, server.host])
+    return result
 
 
 def run_bw(config: PerftestConfig, size: int) -> BwResult:
@@ -122,7 +164,10 @@ def run_bw(config: PerftestConfig, size: int) -> BwResult:
         )
         return result
 
-    return sim.run(sim.process(main()))
+    result = sim.run(sim.process(main()))
+    if _telemetry_on():
+        _export_telemetry(sim, config, size, "bw", [client.host, server.host])
+    return result
 
 
 def sweep_lat(config: PerftestConfig, sizes: list[int]) -> list[LatencyResult]:

@@ -40,6 +40,7 @@ from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import MiniProcess, Process, ProcessGenerator, _Resume
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
+from repro.telemetry.metrics import Telemetry
 
 
 class _EmptySchedule(Exception):
@@ -71,6 +72,11 @@ class Simulator:
     trace:
         Optional pre-built :class:`~repro.sim.trace.Trace`; a disabled one is
         created by default (zero overhead when off).
+    telemetry:
+        Optional pre-built :class:`~repro.telemetry.metrics.Telemetry`
+        registry; a disabled one is created by default.  Like the trace,
+        instrumented sites pay one branch when it is off, and enabling it
+        never alters simulation results (it only mutates Python counters).
     fastpath:
         Force the scalar-yield fast path on/off; ``None`` (default) reads
         ``REPRO_SIM_FASTPATH`` from the environment (on unless ``0``).
@@ -81,6 +87,7 @@ class Simulator:
         seed: int = 0,
         trace: Optional[Trace] = None,
         fastpath: Optional[bool] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, object]] = []
@@ -91,6 +98,7 @@ class Simulator:
         self._cb_pool: list[_Callback] = []
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
 
     # -- clock ----------------------------------------------------------------
 

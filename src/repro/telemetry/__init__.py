@@ -1,0 +1,54 @@
+"""End-to-end telemetry for the converged dataplane simulation.
+
+Three pieces, all disabled by default and free when off:
+
+- :mod:`~repro.telemetry.spans` — causal op spans: one id allocated at
+  ``post_send``/``post_recv`` entry, threaded driver → doorbell → WQE
+  pipeline → DMA → wire → rx → CQE → completion, so one message's life is
+  reconstructable with per-stage durations.
+- :mod:`~repro.telemetry.metrics` — per-host registry of counters, gauges
+  and log2 histograms (NIC queue occupancy, CQ depth, syscalls, IRQs,
+  per-policy cost, MPI protocol mix).
+- :mod:`~repro.telemetry.export` — Chrome trace-event JSON (Perfetto),
+  JSONL record dumps, metrics snapshot JSON.
+
+Enable with::
+
+    sim = Simulator(seed=7, trace=Trace(enabled=True))
+    sim.telemetry.enabled = True
+
+or set ``REPRO_TELEMETRY=1`` for the perftest runner / figure benchmarks
+(exports land under ``REPRO_TELEMETRY_DIR``, default ``results/telemetry``).
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    jsonl_lines,
+    metrics_snapshot,
+    records_from_jsonl,
+)
+from repro.telemetry.metrics import (
+    Gauge,
+    Log2Histogram,
+    MetricCounter,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.telemetry.spans import SPAN_CATEGORY, OpSpan, SpanMark, SpanStage, build_spans
+
+__all__ = [
+    "SPAN_CATEGORY",
+    "OpSpan",
+    "SpanMark",
+    "SpanStage",
+    "build_spans",
+    "chrome_trace",
+    "jsonl_lines",
+    "metrics_snapshot",
+    "records_from_jsonl",
+    "Gauge",
+    "Log2Histogram",
+    "MetricCounter",
+    "MetricsRegistry",
+    "Telemetry",
+]

@@ -1,0 +1,181 @@
+"""Per-host metrics: counters, gauges, log2 histograms, and the registry.
+
+This generalizes the byte/op :class:`repro.sim.trace.Counter` into a small
+metric family every layer can report into.  A :class:`Telemetry` instance
+hangs off the :class:`~repro.sim.engine.Simulator` (disabled by default):
+instrumented sites pay exactly one branch when it is off, and when it is on
+they only mutate plain Python numbers — telemetry never creates events,
+consumes simulated time, or touches an RNG stream, so enabling it cannot
+change simulation results (see ``tests/test_golden_determinism.py``).
+
+Scopes group metrics per host (``"host0"``, ``"host1"``...); a scope is a
+:class:`MetricsRegistry` created lazily on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MetricCounter:
+    """Monotonic counter: occurrence count plus a summed amount.
+
+    ``amount`` is whatever the site measures — bytes for queue counters,
+    nanoseconds for cost counters.  ``key`` splits the count by a label
+    (opcode, policy name, eager/rndv...).
+    """
+
+    __slots__ = ("name", "count", "total", "by_key")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.by_key: dict[str, int] = {}
+
+    def inc(self, amount: float = 0.0, key: Optional[str] = None) -> None:
+        self.count += 1
+        self.total += amount
+        if key is not None:
+            self.by_key[key] = self.by_key.get(key, 0) + 1
+
+    def snapshot(self) -> dict[str, object]:
+        out: dict[str, object] = {"count": self.count, "total": self.total}
+        if self.by_key:
+            out["by_key"] = dict(self.by_key)
+        return out
+
+
+class Gauge:
+    """Last-value metric with min/max watermarks."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+    def snapshot(self) -> dict[str, object]:
+        if self.samples == 0:
+            return {"value": None, "min": None, "max": None, "samples": 0}
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+class Log2Histogram:
+    """log2-bucketed histogram: bucket ``i`` counts values in [2^i, 2^(i+1)).
+
+    Values below 1 land in bucket 0 (there is no sub-unit resolution worth
+    paying for on the hot path).  The same binning the observability
+    policy's flow records use for message sizes.
+    """
+
+    __slots__ = ("name", "buckets", "count", "sum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        bucket = max(0, int(value).bit_length() - 1) if value >= 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """One scope's (usually one host's) named metrics, created on demand."""
+
+    __slots__ = ("scope", "counters", "gauges", "histograms")
+
+    def __init__(self, scope: str):
+        self.scope = scope
+        self.counters: dict[str, MetricCounter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Log2Histogram] = {}
+
+    def counter(self, name: str) -> MetricCounter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = MetricCounter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Log2Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Log2Histogram(name)
+        return h
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class Telemetry:
+    """The per-simulator metric store.  Off by default; one branch when off.
+
+    Sites do::
+
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope("host0").counter("cpu.syscalls").inc()
+    """
+
+    __slots__ = ("enabled", "_scopes")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._scopes: dict[str, MetricsRegistry] = {}
+
+    def scope(self, name: str) -> MetricsRegistry:
+        reg = self._scopes.get(name)
+        if reg is None:
+            reg = self._scopes[name] = MetricsRegistry(name)
+        return reg
+
+    def scopes(self) -> list[str]:
+        return sorted(self._scopes)
+
+    def snapshot(self) -> dict[str, object]:
+        """All scopes' metrics as one JSON-ready dict."""
+        return {name: self._scopes[name].snapshot() for name in sorted(self._scopes)}

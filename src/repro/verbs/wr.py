@@ -104,6 +104,8 @@ class SendWR:
     #: addend; CMP_SWAP compares against ``compare_add`` and stores ``swap``.
     compare_add: int = 0
     swap: int = 0
+    #: Telemetry op-span id (None unless tracing is on; see repro.telemetry).
+    span: Optional[int] = None
 
     def validate(self) -> None:
         from repro.errors import VerbsError
@@ -152,6 +154,8 @@ class CQE:
     data: Optional[bytes] = None
     #: Sideband from the sender's WR (recv completions only).
     meta: object = None
+    #: Telemetry op-span id of the originating operation (None when off).
+    span: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -182,6 +186,8 @@ class WireMessage:
     atomic: Optional[tuple] = None
     header_bytes: int = 0
     retries: int = 0
+    #: Telemetry op-span id carried across the wire (None when off).
+    span: Optional[int] = None
 
     @property
     def wire_bytes(self) -> int:

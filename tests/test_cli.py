@@ -52,6 +52,69 @@ def test_npb_command(capsys):
     assert "EP" in out and "cord rel" in out
 
 
+def test_trace_timeline_default(capsys):
+    assert main(["trace", "--size", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "life of one 1024 B RC send" in out
+
+
+def test_trace_chrome_format(capsys):
+    import json
+
+    assert main(["trace", "--format", "chrome"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    events = doc["traceEvents"]
+    assert events
+    # Perfetto-loadable: only complete/instant/metadata events, so there
+    # are no begin/end pairs to (mis)balance; every X carries a duration.
+    assert {e["ph"] for e in events} <= {"X", "i", "M"}
+    xs = [e for e in events if e["ph"] == "X"]
+    assert xs and all("dur" in e and "ts" in e for e in xs)
+    stages = [e["name"] for e in xs if e["args"].get("op") == "post_send"]
+    assert stages[:4] == ["post", "doorbell", "wqe_fetch", "tx_wire"]
+
+
+def test_trace_jsonl_format(capsys):
+    import json
+
+    assert main(["trace", "--format", "jsonl"]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert lines
+    for line in lines:
+        rec = json.loads(line)
+        assert {"time", "category", "event"} <= rec.keys()
+
+
+def test_trace_output_file(tmp_path):
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--format", "chrome", "--output", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+
+
+def test_metrics_command(capsys):
+    import json
+
+    assert main(["metrics", "--iters", "4"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["telemetry_enabled"] is True
+    assert "host0" in snap["scopes"] and "host1" in snap["scopes"]
+    ops = snap["scopes"]["host0"]["counters"]["dataplane.ops"]
+    assert ops["by_key"]["BP.post_send"] == 4
+    assert snap["hosts"]["host0"]["nic"]["tx_msgs"] > 0
+
+
+def test_metrics_command_cord(capsys):
+    import json
+
+    assert main(["metrics", "--iters", "2", "--client", "cord",
+                 "--server", "cord"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["scopes"]["host0"]["counters"]["cpu.syscalls"]["count"] > 0
+
+
 def test_parser_rejects_unknown_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

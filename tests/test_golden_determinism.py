@@ -87,6 +87,21 @@ def test_fastpath_bit_identical_jittered(monkeypatch):
            {k: repr(v) for k, v in slow.items()}
 
 
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_telemetry_bit_identical(dataplane, monkeypatch, tmp_path):
+    """Full telemetry (tracing + metrics + exporters) is observation only:
+    enabling it must not move a single bit of any measured result."""
+    baseline = _measure(dataplane)
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+    with_tele = _measure(dataplane)
+    assert {k: repr(v) for k, v in baseline.items()} == \
+           {k: repr(v) for k, v in with_tele.items()}
+    # The runs really did trace + export (not a silently-off telemetry path).
+    assert list(tmp_path.glob("*.trace.json"))
+    assert list(tmp_path.glob("*.metrics.json"))
+
+
 def _sweep_point(size: int) -> float:
     return run_bw(_cfg("bypass"), size).duration_ns
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON files produced by repro.telemetry.
+
+Checks each file is Perfetto-loadable in the ways that matter:
+
+- parses as JSON with a non-empty ``traceEvents`` array;
+- every event has a phase; B/E begin/end events balance per (pid, tid);
+  X (complete) events carry non-negative ``ts``/``dur``;
+- span events reference a span id and reconstruct into causally ordered
+  (non-decreasing ``ts``) chains whose stage durations sum to the span's
+  extent.
+
+Usage: python tools/check_chrome_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero on the first invalid file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def check(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list) or not events:
+        return ["no traceEvents"]
+
+    open_stacks: dict[tuple, int] = defaultdict(int)
+    spans: dict[object, list[dict]] = defaultdict(list)
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            errors.append(f"event {i}: missing ph")
+            continue
+        if ph == "B":
+            open_stacks[(ev.get("pid"), ev.get("tid"))] += 1
+        elif ph == "E":
+            key = (ev.get("pid"), ev.get("tid"))
+            if open_stacks[key] <= 0:
+                errors.append(f"event {i}: E without matching B on {key}")
+            else:
+                open_stacks[key] -= 1
+        elif ph == "X":
+            if ev.get("ts", -1) < 0 or ev.get("dur", -1) < 0:
+                errors.append(f"event {i}: X event needs ts/dur >= 0")
+            span_id = ev.get("args", {}).get("span")
+            if span_id is not None:
+                spans[span_id].append(ev)
+    for key, depth in open_stacks.items():
+        if depth:
+            errors.append(f"{depth} unclosed B event(s) on {key}")
+
+    if not spans:
+        errors.append("no span events (args.span) found")
+    for span_id, evs in spans.items():
+        ts = [e["ts"] for e in evs]
+        if ts != sorted(ts):
+            errors.append(f"span {span_id}: stages not causally ordered")
+        extent = max(e["ts"] + e["dur"] for e in evs) - min(ts)
+        total = sum(e["dur"] for e in evs)
+        if abs(total - extent) > 1e-6:
+            errors.append(
+                f"span {span_id}: stage durations ({total}) do not sum "
+                f"to span extent ({extent})"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        errors = check(path)
+        if errors:
+            print(f"FAIL {path}")
+            for err in errors:
+                print(f"  - {err}")
+            return 1
+        print(f"OK   {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
