@@ -1,0 +1,137 @@
+"""Chaos benchmark — dataplanes under a lossy fabric (repro.faults).
+
+Sweeps the per-message loss rate and measures what a bypass (BP) and a
+CoRD (CD) dataplane still achieve for RC send: bandwidth (windowed, so
+loss stalls cost pipeline slots) and average latency (ping-pong, so every
+drop eats a full ACK-timeout back-off).  The interesting claim is
+*relative*: CoRD's kernel-policy path adds per-op CPU cost but loss
+recovery happens entirely inside the NIC model, so both dataplanes
+degrade by the same mechanism and the CD/BP ratio should stay roughly
+flat while absolute numbers fall.
+
+Shape checks:
+
+- zero-loss results with a (do-nothing) fault plan attached are
+  bit-identical to the faultless baseline — the hook itself is free;
+- at zero loss nothing retransmits; under loss the retransmit counters
+  are nonzero (loss recovery actually ran, nothing hung);
+- every lossy bandwidth point sits below the clean baseline, and the
+  retransmit count is non-decreasing in the loss rate (bandwidth itself
+  need not be pointwise monotone: with a 64-deep window and selective
+  repeat, overlapping recoveries at higher loss can locally beat a
+  lower rate whose drops happened to serialize);
+- latency under loss is no better than the clean run.
+"""
+
+import pytest
+
+from repro.analysis import SweepTable, check_between, format_table
+from repro.bench_support import emit, parallel_sweep, report_checks, scaled
+from repro.faults import FaultPlan
+from repro.perftest.runner import PerftestConfig, run_bw, run_lat
+
+SIZE = 4096
+LOSSES = [0.0, 0.002, 0.01, 0.05]
+PLANES = [("BP", "bypass"), ("CD", "cord")]
+
+
+def _bw_point(point):
+    cfg, size = point
+    return run_bw(cfg, size)
+
+
+def _lat_point(point):
+    cfg, size = point
+    return run_lat(cfg, size)
+
+
+def _cfg(kind: str, loss: float) -> PerftestConfig:
+    return PerftestConfig(
+        system="L", transport="RC", op="send", client=kind, server=kind,
+        iters=scaled(600), warmup=100, window=64,
+        faults=FaultPlan(loss=loss) if loss > 0.0 else None,
+    )
+
+
+def _sweep():
+    bw_points = [(_cfg(kind, loss), SIZE)
+                 for _label, kind in PLANES for loss in LOSSES]
+    lat_points = [(_cfg(kind, loss).with_(iters=scaled(300), warmup=30), SIZE)
+                  for _label, kind in PLANES for loss in LOSSES]
+    # The zero-loss-plan-attached control: same as the loss=0.0 baseline
+    # but with a FaultPlan actually hooked into the fabric.
+    control = (_cfg("bypass", 0.0).with_(faults=FaultPlan(loss=0.0)), SIZE)
+
+    bw = parallel_sweep(_bw_point, bw_points + [control])
+    lat = parallel_sweep(_lat_point, lat_points)
+    control_bw = bw.pop()
+
+    table = SweepTable(f"Chaos: RC send {SIZE} B bandwidth vs loss rate "
+                       "(Gbit/s)", "loss")
+    ltab = SweepTable(f"Chaos: RC send {SIZE} B avg latency vs loss rate "
+                      "(us)", "loss")
+    rtab = SweepTable("Chaos: retransmissions per run", "loss")
+    it_bw, it_lat = iter(bw), iter(lat)
+    for label, _kind in PLANES:
+        sb = table.new_series(label)
+        sl = ltab.new_series(label)
+        sr = rtab.new_series(label)
+        for loss in LOSSES:
+            r = next(it_bw)
+            sb.add(f"{loss:g}", r.gbit_per_s)
+            sr.add(f"{loss:g}", float(r.retransmits))
+        for loss in LOSSES:
+            sl.add(f"{loss:g}", next(it_lat).avg_us)
+    return table, ltab, rtab, bw, control_bw
+
+
+def _report(table, ltab, rtab, bw_results, control_bw):
+    parts = []
+    for t in (table, ltab, rtab):
+        h, r = t.rows()
+        parts.append(format_table(h, r, t.title))
+    text = "\n\n".join(parts)
+
+    baseline_bp = bw_results[0]  # bypass at loss=0.0
+    checks = [
+        check_between(
+            "zero-loss plan attached == no plan (bit-identical)",
+            1.0 if repr(control_bw.duration_ns) == repr(baseline_bp.duration_ns)
+            else 0.0, 1.0, 1.0),
+        check_between(
+            "zero-loss plan does not retransmit",
+            float(control_bw.retransmits), 0.0, 0.0),
+    ]
+    for label, _kind in PLANES:
+        s = table.get(label)
+        r = rtab.get(label)
+        ys = [s.y_at(f"{loss:g}") for loss in LOSSES]
+        checks.append(check_between(
+            f"{label}: every lossy bandwidth point below clean",
+            1.0 if all(y < ys[0] for y in ys[1:]) else 0.0, 1.0, 1.0))
+        rs = [r.y_at(f"{loss:g}") for loss in LOSSES]
+        checks.append(check_between(
+            f"{label}: retransmits non-decreasing with loss",
+            1.0 if all(a <= b for a, b in zip(rs, rs[1:])) else 0.0, 1.0, 1.0))
+        checks.append(check_between(
+            f"{label}: loss recovery ran at 1% loss (retransmits > 0)",
+            r.y_at("0.01"), 1.0, float("inf")))
+        l = ltab.get(label)
+        checks.append(check_between(
+            f"{label}: latency under 5% loss >= clean latency",
+            l.y_at("0.05") / l.y_at("0"), 1.0, float("inf")))
+    emit("chaos_loss_sweep", text + "\n" + report_checks("chaos", checks))
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_loss_sweep(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _report(*results)
+
+
+def main():
+    _report(*_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import time
 
-from repro.bench_support import RESULTS_DIR, scaled
+from repro.bench_support import results_dir, scaled
 from repro.sim import Simulator
 from repro.sim.resources import Resource
 from repro.sim.store import Store
@@ -129,8 +129,9 @@ def run_all(n: int | None = None) -> dict:
 
 
 def emit_json(results: dict) -> None:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / "BENCH_engine.json"
+    outdir = results_dir()
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / "BENCH_engine.json"
     path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {path}")
 

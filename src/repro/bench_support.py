@@ -24,15 +24,38 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.analysis.compare import CheckResult
 from repro.errors import ConfigError
 
-RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
-
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
+def results_dir() -> Path:
+    """Output directory for tables, read from ``REPRO_RESULTS_DIR`` at
+    *call* time — setting the variable after import works."""
+    return Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def __getattr__(name: str):
+    # Back-compat: RESULTS_DIR used to be a module constant frozen at
+    # import time; resolve it lazily so late env changes are honoured.
+    if name == "RESULTS_DIR":
+        return results_dir()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def bench_scale() -> float:
     """Global iteration-count multiplier from the environment."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    raw = os.environ.get("REPRO_BENCH_SCALE", "").strip()
+    if not raw:
+        return 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_BENCH_SCALE must be a number, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"REPRO_BENCH_SCALE must be non-negative, got {raw!r}")
+    return value
 
 
 def scaled(n: int, minimum: int = 1) -> int:
@@ -105,8 +128,9 @@ def emit(name: str, text: str) -> None:
     """Print a result block and persist it under results/."""
     print()
     print(text)
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    outdir = results_dir()
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{name}.txt"
     path.write_text(text + "\n")
 
 

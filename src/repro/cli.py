@@ -15,6 +15,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import format_table
+from repro.faults import parse_fault_spec
 from repro.hw.profiles import PROFILES
 from repro.npb import NpbConfig, run_npb
 from repro.npb.runner import DEFAULT_SUITE
@@ -37,6 +38,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-zero-copy", action="store_true")
     p.add_argument("--no-kernel-bypass", action="store_true")
     p.add_argument("--no-polling", action="store_true")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection spec, e.g. 'loss=0.01' or "
+                        "'loss=0.005,flap=1e6:2e6,pause=1:5e5:8e5' "
+                        "(see repro.faults.parse_fault_spec)")
 
 
 def _config(args, default_iters: int) -> PerftestConfig:
@@ -45,10 +50,12 @@ def _config(args, default_iters: int) -> PerftestConfig:
         kernel_bypass=not args.no_kernel_bypass,
         polling=not args.no_polling,
     )
+    faults = parse_fault_spec(args.faults) if args.faults else None
     return PerftestConfig(
         system=args.system, transport=args.transport, op=args.op,
         client=args.client, server=args.server,
         iters=args.iters or default_iters, techniques=tech, seed=args.seed,
+        faults=faults,
     )
 
 

@@ -51,6 +51,19 @@ class Fabric:
         self._tx_ports: dict[int, Resource] = {}
         self.bytes_carried = 0
         self.messages_carried = 0
+        #: Optional fault layer (see :mod:`repro.faults`).  None keeps the
+        #: fabric lossless at the cost of one branch per transmit.
+        self.faults = None
+
+    def inject_faults(self, plan) -> "object":
+        """Attach a :class:`~repro.faults.FaultPlan` (or a prebuilt
+        injector) to this fabric; returns the active injector."""
+        from repro.faults import FaultInjector, FaultPlan
+
+        if isinstance(plan, FaultPlan):
+            plan = FaultInjector(self.sim, plan, scope=self.name)
+        self.faults = plan
+        return plan
 
     # -- wiring ---------------------------------------------------------------
 
@@ -124,4 +137,16 @@ class Fabric:
                 remaining -= chunk
         self.bytes_carried += nbytes
         self.messages_carried += 1
+        faults = self.faults
+        if faults is not None:
+            extra = faults.on_transmit(
+                src_host, dst_host, self.sim.now,
+                getattr(payload, "kind", "raw"), nbytes, self.propagation_ns,
+            )
+            if extra is None:
+                return  # dropped on the wire: never delivered
+            if extra:
+                self.sim.call_later(self.propagation_ns + extra,
+                                    dst.deliver, payload)
+                return
         self.sim.call_later(self.propagation_ns, dst.deliver, payload)

@@ -61,6 +61,10 @@ class Link:
         }
         self.bytes_carried = 0
         self.messages_carried = 0
+        #: Optional fault layer (see :mod:`repro.faults`); ``None`` keeps
+        #: the link lossless.  Link endpoints are identified to the
+        #: injector by port index (0 or 1).
+        self.faults = None
 
     @classmethod
     def from_profile(
@@ -115,4 +119,16 @@ class Link:
         deliver = dst.deliver
         if deliver is None:
             raise HardwareError(f"{dst.name} has no attached receiver")
+        faults = self.faults
+        if faults is not None:
+            src_idx = 0 if src is self.ports[0] else 1
+            extra = faults.on_transmit(
+                src_idx, 1 - src_idx, self.sim.now,
+                getattr(payload, "kind", "raw"), nbytes, self.propagation_ns,
+            )
+            if extra is None:
+                return  # dropped on the wire: never delivered
+            if extra:
+                self.sim.call_later(self.propagation_ns + extra, deliver, payload)
+                return
         self.sim.call_later(self.propagation_ns, deliver, payload)

@@ -55,6 +55,9 @@ class NicCounters:
         self.ud_drops = 0
         self.remote_access_errors = 0
         self.retries = 0
+        self.ack_timeouts = 0
+        self.retransmits = 0
+        self.retry_exc_errs = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -165,7 +168,7 @@ class Nic:
             reg = tele.scope(self._scope)
             reg.counter("nic.tx.posted").inc(wr.length, key=wr.opcode.value)
             reg.histogram("nic.txq.occupancy").observe(len(self._tx_store.items))
-        self._tx_store.put((qp, wr, psn))
+        self._tx_store.put((qp, wr, psn, 0))
 
     def hw_post_recv(self, qp: QueuePair, wr: RecvWR) -> None:
         """Accept a recv WQE into the device-visible receive queue."""
@@ -187,33 +190,43 @@ class Nic:
     # -- send path ---------------------------------------------------------------
 
     def _tx_engine(self) -> Generator["Event", object, None]:
-        """Serial WQE-scheduling engine: caps the message rate."""
+        """Serial WQE-scheduling engine: caps the message rate.
+
+        Retransmissions re-enter here with ``retries > 0``: a retry pays
+        the same WQE-processing occupancy and pipeline fill as any other
+        WQE, and is traced like one, so retried ops stay visible to
+        telemetry span telescoping and the message-rate cap.
+        """
         while True:
             item = yield self._tx_store.get()
-            qp, wr, psn = item  # type: ignore[misc]
+            qp, wr, psn, retries = item  # type: ignore[misc]
             yield self.profile.wqe_process_ns
             # Pipeline the rest so the engine can schedule the next WQE
             # while this message is still fetching payload / on the wire.
-            self.sim.spawn(self._initiate(qp, wr, psn), name=self._tx_msg_name)
+            self.sim.spawn(self._initiate(qp, wr, psn, retries),
+                           name=self._tx_msg_name)
 
     def _initiate(
-        self, qp: QueuePair, wr: SendWR, psn: int, is_retry: bool = False
+        self, qp: QueuePair, wr: SendWR, psn: int, retries: int = 0
     ) -> Generator["Event", object, None]:
         """Move one message from local memory onto the wire."""
+        if retries and (qp.outstanding.get(psn) is not wr
+                        or qp.state is not QPState.RTS):
+            return  # acked or flushed while the retry sat in the TX queue
         trace = self.sim.trace
         if trace.enabled and wr.span is not None:
             trace.emit(self.sim.now, "span", "mark", span=wr.span,
                        stage="wqe_fetch", host=self.host_id, comp="nic.tx")
-        if not is_retry:
-            # Pipeline-fill: WQE fetch unless the CPU wrote it inline with
-            # the doorbell (BlueFlame-style), then payload first-burst fetch.
-            fill = 0.0
-            if not wr.inline:
-                fill += self.profile.dma_read_lat_ns
-            if wr.opcode.reads_local_memory and not wr.inline and wr.length > 0:
-                fill += self.profile.dma_read_lat_ns
-            if fill:
-                yield fill
+        # Pipeline-fill: WQE fetch unless the CPU wrote it inline with
+        # the doorbell (BlueFlame-style), then payload first-burst fetch.
+        # Retries pay this again — the device re-fetches state just the same.
+        fill = 0.0
+        if not wr.inline:
+            fill += self.profile.dma_read_lat_ns
+        if wr.opcode.reads_local_memory and not wr.inline and wr.length > 0:
+            fill += self.profile.dma_read_lat_ns
+        if fill:
+            yield fill
 
         dst_host, dst_qpn = qp.destination_for(wr)
         data = wr.data
@@ -256,6 +269,7 @@ class Nic:
             meta=wr.meta,
             atomic=(wr.opcode, wr.compare_add, wr.swap) if kind == "atomic" else None,
             header_bytes=header,
+            retries=retries,
             span=wr.span,
         )
         if qp.transport is Transport.RC:
@@ -280,6 +294,13 @@ class Nic:
         self.counters.tx_msgs += 1
         self.counters.tx_bytes += wire_payload
         qp.bytes_sent += wr.length
+
+        if (qp.transport is Transport.RC
+                and getattr(self._fabric, "faults", None) is not None):
+            # The fabric is lossless unless a fault layer is attached, so
+            # ACK-timeout timers are armed only then: fault-free runs see
+            # no extra heap events and stay bit-identical.
+            self._arm_ack_timer(qp, psn, retries)
 
         if qp.transport is Transport.UD:
             # UD is unacknowledged: the send completes once it is on the wire.
@@ -329,9 +350,21 @@ class Nic:
                 qp.reorder[msg.psn] = msg
                 return
             if msg.psn < qp.expected_psn:
-                # Duplicate (e.g. retry after a lost-race); re-ack, don't redo.
+                # Duplicate (retry of a message whose response was lost);
+                # answer again without re-executing side effects.
                 if msg.kind in ("send", "write"):
                     yield from self._send_ack(qp, msg, "ack")
+                elif msg.kind == "read_req":
+                    # Reads are idempotent: just serve the data again.
+                    self.sim.spawn(self._exec_read_req(qp, msg),
+                                   name=self._ex_read_name)
+                elif msg.kind == "atomic":
+                    # Atomics are not idempotent: replay the cached
+                    # original value instead of re-executing the RMW.
+                    cached = qp.atomic_cache.get(msg.psn)
+                    if cached is not None:
+                        self.sim.spawn(self._exec_atomic_resp(qp, msg, cached),
+                                       name=self._ex_atomic_name)
                 return
             if not self._accept(qp, msg):
                 # RNR-NAKed: the PSN stays expected; the retry will redeliver.
@@ -412,6 +445,11 @@ class Nic:
             else:  # CMP_SWAP
                 newval = swap if original == compare_add else original
             mr.buffer.write(offset, newval.to_bytes(8, "little"))
+            # Replay cache so a duplicate (lost-response retry) of this PSN
+            # returns the same original value instead of re-executing.
+            qp.atomic_cache[msg.psn] = original
+            if len(qp.atomic_cache) > 64:
+                qp.atomic_cache.pop(next(iter(qp.atomic_cache)))
             self._notify_memory_watchers(msg.remote_addr, 8)
             self.counters.rx_msgs += 1
             self.counters.rx_bytes += msg.wire_bytes
@@ -424,6 +462,11 @@ class Nic:
 
     def _claim_recv_wqe(self, qp: QueuePair):
         """Take the next recv WQE: from the QP's SRQ if it has one."""
+        faults = getattr(self._fabric, "faults", None)
+        if faults is not None and faults.recv_paused(self.host_id, self.sim.now):
+            # Receiver-pause fault: pretend the RQ is empty so RC senders
+            # hit the RNR path (and UD traffic is dropped).
+            return None
         if qp.srq is not None:
             return qp.srq.pop() if len(qp.srq) else None
         return qp.rq.popleft() if qp.rq else None
@@ -551,7 +594,9 @@ class Nic:
         _qpn, psn = msg.token  # type: ignore[misc]
         wr = qp.outstanding.pop(psn, None)
         if wr is None:
-            return  # stale response after QP reset
+            return  # stale response after QP reset (or a duplicate reply)
+        qp.retx_retries.pop(psn, None)
+        qp.retx_epoch.pop(psn, None)
         if msg.length > 0:
             yield self.profile.dma_write_lat_ns
             if msg.data is not None:
@@ -578,29 +623,39 @@ class Nic:
         if wr is None:
             return
         if msg.kind == "nak_rnr":
-            retries = msg.retries
+            # The initiator-side retry count is authoritative (a NAK's
+            # echoed count would reset if the NAK itself were retried).
+            retries = qp.retx_retries.get(psn, 0)
             if retries >= qp.rnr_retries:
                 qp.outstanding.pop(psn, None)
+                qp.retx_retries.pop(psn, None)
+                qp.retx_epoch.pop(psn, None)
                 qp.sq_outstanding -= 1
-                qp.modify(QPState.ERROR)
                 yield from self._post_cqe(
                     qp.send_cq,
                     CQE(wr_id=wr.wr_id, status=WCStatus.RNR_RETRY_EXC_ERR,
                         opcode=wr.opcode, byte_len=wr.length, qp_num=qp.qpn,
                         span=wr.span),
                 )
+                if qp.state not in (QPState.ERROR, QPState.RESET):
+                    qp.modify(QPState.ERROR)
                 return
+            # Invalidate any armed ACK timer right away: the responder has
+            # spoken for this attempt, the back-off below owns the retry.
+            qp._retx_seq += 1
+            qp.retx_epoch[psn] = qp._retx_seq
+            qp.retx_retries[psn] = retries + 1
             self.counters.retries += 1
-            yield RNR_DELAY_NS
-            yield self.profile.wqe_process_ns
-            # Re-transmit, bumping the retry count carried back on a NAK.
-            self.sim.spawn(
-                self._retransmit(qp, wr, psn, retries + 1), name=self._retry_name
-            )
+            # Escalating back-off: delay grows with the retry index so
+            # repeated RNR NAKs don't hot-loop (first retry unchanged).
+            yield RNR_DELAY_NS * (retries + 1)
+            self._queue_retransmit(qp, wr, psn, retries + 1)
             return
         # Positive ACK.
         status = WCStatus.REM_ACCESS_ERR if msg.imm == -1 else WCStatus.SUCCESS
         qp.outstanding.pop(psn, None)
+        qp.retx_retries.pop(psn, None)
+        qp.retx_epoch.pop(psn, None)
         qp.sq_outstanding -= 1
         if msg.length < 0:  # pragma: no cover - defensive
             raise HardwareError("negative ack length")
@@ -610,28 +665,96 @@ class Nic:
                 CQE(wr_id=wr.wr_id, status=status, opcode=wr.opcode,
                     byte_len=wr.length, qp_num=qp.qpn, span=wr.span),
             )
+        if status is not WCStatus.SUCCESS and qp.state not in (
+            QPState.ERROR, QPState.RESET
+        ):
+            # A remote error ACK is fatal for the QP: transition to ERROR
+            # and flush the remaining in-flight work, as real RC does.
+            qp.modify(QPState.ERROR)
 
-    def _retransmit(
+    # -- RC loss recovery (ACK-timeout retransmission) ---------------------------
+
+    def _arm_ack_timer(self, qp: QueuePair, psn: int, retries: int) -> None:
+        """Start the ACK-timeout clock for one in-flight PSN.
+
+        Called after the last bit of an RC request leaves the source port,
+        and only when a fault layer is attached to the fabric (the wire is
+        lossless otherwise).  Exponential back-off: each retransmission
+        doubles the timeout.
+        """
+        if qp.outstanding.get(psn) is None:
+            return  # already answered (e.g. loopback raced the transmit)
+        qp._retx_seq += 1
+        epoch = qp._retx_seq
+        qp.retx_epoch[psn] = epoch
+        delay = self.profile.ack_timeout_ns * (2.0 ** retries)
+        self.sim.call_later(delay, self._ack_timer_fired, (qp, psn, epoch))
+
+    def _ack_timer_fired(self, token: tuple) -> None:
+        """An ACK-timeout expired; retransmit or give up (RETRY_EXC_ERR)."""
+        qp, psn, epoch = token
+        if qp.retx_epoch.get(psn) != epoch:
+            return  # stale: acked, NAKed or re-armed since
+        wr = qp.outstanding.get(psn)
+        if wr is None or qp.state is not QPState.RTS:
+            qp.retx_epoch.pop(psn, None)
+            return
+        self.counters.ack_timeouts += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("nic.rc.ack_timeouts").inc()
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "ack_timeout",
+                       host=self.host_id, qpn=qp.qpn, psn=psn)
+        retries = qp.retx_retries.get(psn, 0)
+        if retries >= qp.retry_cnt:
+            self.counters.retry_exc_errs += 1
+            qp.outstanding.pop(psn, None)
+            qp.retx_retries.pop(psn, None)
+            qp.retx_epoch.pop(psn, None)
+            qp.sq_outstanding -= 1
+            self.sim.spawn(self._complete_retry_exhausted(qp, wr),
+                           name=self._retry_name)
+            return
+        qp.retx_retries[psn] = retries + 1
+        self._queue_retransmit(qp, wr, psn, retries + 1)
+
+    def _queue_retransmit(
         self, qp: QueuePair, wr: SendWR, psn: int, retries: int
+    ) -> None:
+        """Feed a retry back through the normal TX pipeline.
+
+        Retries share the WQE-scheduling engine with first transmissions,
+        so they pay processing occupancy and pipeline fill and show up in
+        the TX trace/telemetry like any other message.
+        """
+        qp._retx_seq += 1
+        qp.retx_epoch[psn] = qp._retx_seq  # invalidate any armed timer
+        self.counters.retransmits += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("nic.rc.retransmits").inc(
+                key=wr.opcode.value
+            )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "retransmit",
+                       host=self.host_id, qpn=qp.qpn, psn=psn, retries=retries)
+        self._tx_store.put((qp, wr, psn, retries))
+
+    def _complete_retry_exhausted(
+        self, qp: QueuePair, wr: SendWR
     ) -> Generator["Event", object, None]:
-        """Re-send a previously NAKed message, preserving its PSN."""
-        dst_host, dst_qpn = qp.destination_for(wr)
-        header = HEADER_BYTES
-        msg = WireMessage(
-            kind="send" if wr.opcode.is_send else "write",
-            src_host=self.host_id, dst_host=dst_host,
-            src_qpn=qp.qpn, dst_qpn=dst_qpn,
-            transport=qp.transport.value, psn=psn,
-            length=wr.length, imm=wr.imm,
-            remote_addr=wr.remote_addr, rkey=wr.rkey,
-            data=wr.data, token=(qp.qpn, psn),
-            meta=wr.meta, header_bytes=header, retries=retries,
-            span=wr.span,
+        """retry_cnt exhausted: fail the WR, then error-out the QP."""
+        yield from self._post_cqe(
+            qp.send_cq,
+            CQE(wr_id=wr.wr_id, status=WCStatus.RETRY_EXC_ERR,
+                opcode=wr.opcode, byte_len=wr.length, qp_num=qp.qpn,
+                span=wr.span),
         )
-        assert self._fabric is not None
-        yield from self._fabric.transmit(self.host_id, dst_host, msg.wire_bytes, msg)
-        self.counters.tx_msgs += 1
-        self.counters.tx_bytes += msg.wire_bytes
+        if qp.state not in (QPState.ERROR, QPState.RESET):
+            qp.modify(QPState.ERROR)
 
     def _send_ack(
         self,

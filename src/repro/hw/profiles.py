@@ -102,6 +102,11 @@ class NicProfile:
     inline_threshold: int
     #: ACK turnaround at the responder NIC (RC reliability).
     ack_ns: float
+    #: Base RC ACK-timeout: an un-acked PSN retransmits after
+    #: ``ack_timeout_ns * 2**retries`` (exponential back-off).  Timers are
+    #: armed only when a fault layer is attached — the fabric is lossless
+    #: otherwise — so this never perturbs fault-free runs.
+    ack_timeout_ns: float = 100_000.0
     #: Send queue depth per QP.
     sq_depth: int = 128
     #: Receive queue depth per QP.

@@ -31,6 +31,10 @@ class BwResult:
     iters: int
     window: int
     duration_ns: float
+    #: RC loss-recovery activity over the whole run (both NICs); nonzero
+    #: only when the measurement ran with a fault plan attached.
+    retransmits: int = 0
+    ack_timeouts: int = 0
 
     @property
     def bytes_moved(self) -> int:

@@ -16,6 +16,7 @@ from repro.cluster import build_pair
 from repro.core.endpoint import Endpoint, make_rc_pair, make_ud_pair
 from repro.core.policy import PolicyChain
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.hw.profiles import SystemProfile, get_profile
 from repro.perftest.bw import BwResult, read_bw, send_bw, write_bw
 from repro.perftest.lat import LatencyResult, read_lat, send_lat, write_lat
@@ -70,6 +71,9 @@ class PerftestConfig:
     window: int = 128
     seed: int = 7
     buf_bytes: int = 16 * 1024 * 1024
+    #: Optional fault-injection plan (see :mod:`repro.faults`): attached
+    #: to the fabric of every measurement built from this config.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.op not in OPS:
@@ -105,7 +109,9 @@ def _build(
         sim.telemetry.enabled = True
     else:
         sim = Simulator(seed=config.seed)
-    _fabric, host_a, host_b = build_pair(sim, config.profile)
+    fabric, host_a, host_b = build_pair(sim, config.profile)
+    if config.faults is not None:
+        fabric.inject_faults(config.faults)
     holder: dict[str, tuple[Endpoint, Endpoint]] = {}
 
     def setup() -> Generator:
@@ -165,6 +171,9 @@ def run_bw(config: PerftestConfig, size: int) -> BwResult:
         return result
 
     result = sim.run(sim.process(main()))
+    nic_c, nic_s = client.host.nic.counters, server.host.nic.counters
+    result.retransmits = nic_c.retransmits + nic_s.retransmits
+    result.ack_timeouts = nic_c.ack_timeouts + nic_s.ack_timeouts
     if _telemetry_on():
         _export_telemetry(sim, config, size, "bw", [client.host, server.host])
     return result

@@ -91,6 +91,24 @@ class QueuePair:
         self.outstanding: dict[int, SendWR] = {}  # psn -> wqe awaiting ack
         self.reorder: dict[int, WireMessage] = {}  # out-of-order responder hold
         self.rnr_retries = 7
+        #: Max transport retries (ACK-timeout retransmissions) per PSN
+        #: before the WR completes with RETRY_EXC_ERR (``retry_cnt`` in
+        #: ``ibv_qp_attr`` terms).
+        self.retry_cnt = 7
+        #: Initiator-side retry bookkeeping: psn -> retries so far.  RNR
+        #: NAK retries and ACK-timeout retransmissions share this count.
+        self.retx_retries: dict[int, int] = {}
+        #: psn -> epoch of the currently armed ACK timer.  A fired timer
+        #: whose epoch no longer matches is stale (the PSN was acked,
+        #: retransmitted or flushed meanwhile) and must do nothing.
+        self.retx_epoch: dict[int, int] = {}
+        #: Monotone epoch allocator; never reset so PSN reuse after a QP
+        #: RESET cannot revive a stale timer.
+        self._retx_seq = 0
+        #: Responder-side replay cache for atomics: psn -> original value.
+        #: A retransmitted atomic whose execution already happened replays
+        #: the cached response instead of re-executing (exactly-once).
+        self.atomic_cache: dict[int, int] = {}
 
         # Statistics.
         self.sends_posted = 0
@@ -135,12 +153,17 @@ class QueuePair:
                 opcode=swr.opcode, byte_len=0, qp_num=self.qpn))
         self.outstanding.clear()
         self.reorder.clear()
+        self.retx_retries.clear()
+        self.retx_epoch.clear()
         self.sq_outstanding = 0
 
     def _flush(self) -> None:
         self.rq.clear()
         self.outstanding.clear()
         self.reorder.clear()
+        self.retx_retries.clear()
+        self.retx_epoch.clear()
+        self.atomic_cache.clear()
         self.sq_outstanding = 0
         self.sq_psn = 0
         self.expected_psn = 0

@@ -58,6 +58,7 @@ class WCStatus(enum.Enum):
     REM_ACCESS_ERR = "remote_access_error"
     REM_INV_REQ_ERR = "remote_invalid_request"
     RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
+    RETRY_EXC_ERR = "retry_exceeded"
     WR_FLUSH_ERR = "flushed"
 
 

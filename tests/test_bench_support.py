@@ -1,0 +1,72 @@
+"""Regression tests for benchmark plumbing (repro.bench_support).
+
+Two bugs fixed here and pinned down:
+
+1. ``RESULTS_DIR`` was frozen at import time, so setting
+   ``REPRO_RESULTS_DIR`` after importing the module (the natural order in
+   a test or CI harness) was silently ignored.
+2. ``bench_scale()`` let ``float()`` errors escape raw and accepted
+   negative scales; both now raise a friendly :class:`ConfigError`.
+"""
+
+import pytest
+
+import repro.bench_support as bs
+from repro.errors import ConfigError
+
+
+def test_results_dir_reads_env_at_call_time(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "late"))
+    assert bs.results_dir() == tmp_path / "late"
+    # The legacy module attribute follows along lazily.
+    assert bs.RESULTS_DIR == tmp_path / "late"
+
+
+def test_results_dir_default(monkeypatch):
+    monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+    assert str(bs.results_dir()) == "results"
+
+
+def test_unknown_module_attr_still_raises():
+    with pytest.raises(AttributeError):
+        bs.NO_SUCH_ATTRIBUTE
+
+
+def test_emit_writes_into_late_results_dir(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+    bs.emit("sample", "hello table")
+    assert (tmp_path / "out" / "sample.txt").read_text() == "hello table\n"
+    assert "hello table" in capsys.readouterr().out
+
+
+def test_bench_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert bs.bench_scale() == 1.0
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "   ")
+    assert bs.bench_scale() == 1.0
+
+
+def test_bench_scale_parses_numbers(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+    assert bs.bench_scale() == 0.25
+    assert bs.scaled(100) == 25
+    assert bs.scaled(1) == 1  # minimum floor
+
+
+@pytest.mark.parametrize("raw", ["fast", "1.0x", "ten", "0..5"])
+def test_bench_scale_rejects_non_numeric(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", raw)
+    with pytest.raises(ConfigError, match="must be a number"):
+        bs.bench_scale()
+
+
+def test_bench_scale_rejects_negative(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "-0.5")
+    with pytest.raises(ConfigError, match="non-negative"):
+        bs.bench_scale()
+
+
+def test_bench_workers_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+    with pytest.raises(ConfigError, match="must be an integer"):
+        bs.bench_workers()

@@ -45,6 +45,27 @@ def test_bw_technique_flags(capsys):
     assert "no zero-copy" in out
 
 
+def test_lat_with_faults_spec(capsys):
+    assert main(["lat", "--size", "256", "--iters", "20",
+                 "--faults", "loss=0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "avg us" in out
+
+
+def test_bw_with_faults_spec(capsys):
+    assert main(["bw", "--size", "4096", "--iters", "60",
+                 "--faults", "loss=0.01,nodropctl"]) == 0
+    out = capsys.readouterr().out
+    assert "Gbit/s" in out
+
+
+def test_faults_spec_rejected(capsys):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(["lat", "--size", "256", "--iters", "5", "--faults", "loss=2.0"])
+
+
 def test_npb_command(capsys):
     assert main(["npb", "--bench", "EP", "--klass", "S", "--ranks", "4",
                  "--iter-scale", "1.0", "--transports", "bypass", "cord"]) == 0

@@ -102,6 +102,27 @@ def test_telemetry_bit_identical(dataplane, monkeypatch, tmp_path):
     assert list(tmp_path.glob("*.metrics.json"))
 
 
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_faults_on_golden_determinism(dataplane):
+    """Fault injection draws from named rng streams only: a faults-on run
+    must be bit-identical to itself, actually exercise loss recovery, and
+    a zero-loss plan must be bit-identical to no plan at all."""
+    from repro.faults import FaultPlan
+
+    lossy = _cfg(dataplane).with_(faults=FaultPlan(loss=0.05))
+    r1 = run_bw(lossy, SIZE)
+    r2 = run_bw(lossy, SIZE)
+    assert repr(r1.duration_ns) == repr(r2.duration_ns)
+    assert (r1.retransmits, r1.ack_timeouts) == (r2.retransmits, r2.ack_timeouts)
+    assert r1.retransmits > 0  # recovery really ran
+
+    clean = run_bw(_cfg(dataplane), SIZE)
+    hooked = run_bw(_cfg(dataplane).with_(faults=FaultPlan(loss=0.0)), SIZE)
+    assert repr(hooked.duration_ns) == repr(clean.duration_ns)
+    assert repr(clean.duration_ns) == repr(GOLDEN[dataplane]["bw_duration_ns"])
+    assert hooked.retransmits == 0
+
+
 def _sweep_point(size: int) -> float:
     return run_bw(_cfg("bypass"), size).duration_ns
 
