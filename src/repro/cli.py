@@ -122,7 +122,8 @@ def _emit_text(text: str, output: Optional[str]) -> None:
         print(text)
 
 
-def _run_traced_pair(args, iters: int = 1, telemetry: bool = False):
+def _run_traced_pair(args, iters: int = 1, telemetry: bool = False,
+                     sanitize: Optional[bool] = None):
     """Run ``iters`` traced RC sends; returns (sim, host_a, host_b)."""
     from repro.cluster import build_pair
     from repro.core.endpoint import make_rc_pair
@@ -131,7 +132,8 @@ def _run_traced_pair(args, iters: int = 1, telemetry: bool = False):
     from repro.sim.trace import Trace
     from repro.verbs.wr import Opcode, RecvWR, SendWR
 
-    sim = Simulator(seed=args.seed, trace=Trace(enabled=True))
+    sim = Simulator(seed=args.seed, trace=Trace(enabled=True),
+                    sanitize=sanitize)
     if telemetry:
         sim.telemetry.enabled = True
     _fabric, host_a, host_b = build_pair(sim, get_profile(args.system))
@@ -186,6 +188,31 @@ def cmd_metrics(args) -> int:
     _emit_text(json.dumps(snap, indent=2, sort_keys=True, default=str),
                args.output)
     return 0
+
+
+def cmd_sanitize_lint(args) -> int:
+    """Run the SIM001–SIM006 determinism linter; exit 1 on findings."""
+    from repro.sanitize import format_json, format_text, run_lint
+
+    findings = run_lint(paths=args.paths or None, root=args.root,
+                        rules=args.rules)
+    text = format_json(findings) if args.format == "json" else \
+        format_text(findings)
+    _emit_text(text, args.output)
+    return 1 if findings else 0
+
+
+def cmd_sanitize_run(args) -> int:
+    """Run a short exchange with runtime sanitizers on; exit 1 on findings."""
+    from repro.sanitize import findings_of, format_json, format_text
+
+    sim, _host_a, _host_b = _run_traced_pair(args, iters=args.iters,
+                                             sanitize=True)
+    findings = findings_of(sim)
+    text = format_json(findings) if args.format == "json" else \
+        format_text(findings)
+    _emit_text(text, args.output)
+    return 1 if findings else 0
 
 
 def cmd_profiles(_args) -> int:
@@ -263,6 +290,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--output", default=None,
                            help="write to this file instead of stdout")
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="determinism lint + runtime race/RNG sanitizers",
+        description="Determinism tooling: `lint` runs the SIM001-SIM006 AST "
+                    "rulepack; `run` executes a short RC exchange with the "
+                    "runtime sanitizers (SIM101-SIM103) attached.  Both exit "
+                    "non-zero when findings remain.",
+    )
+    san_sub = p_san.add_subparsers(dest="sanitize_command", required=True)
+
+    p_san_lint = san_sub.add_parser("lint", help="run the determinism linter")
+    p_san_lint.add_argument("paths", nargs="*",
+                            help="files/directories to lint (default: src, "
+                                 "benchmarks, tests, tools under --root)")
+    p_san_lint.add_argument("--root", default=".",
+                            help="repo root for the default lint set")
+    p_san_lint.add_argument("--rules", nargs="+", metavar="SIMxxx",
+                            default=None,
+                            help="only report these rule ids")
+    p_san_lint.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    p_san_lint.add_argument("--output", default=None,
+                            help="write to this file instead of stdout")
+    p_san_lint.set_defaults(func=cmd_sanitize_lint)
+
+    p_san_run = san_sub.add_parser(
+        "run", help="short sanitizer-on simulation (runtime checks)"
+    )
+    p_san_run.add_argument("--system", choices=sorted(PROFILES), default="L")
+    p_san_run.add_argument("--client", choices=["bypass", "cord"],
+                           default="bypass")
+    p_san_run.add_argument("--server", choices=["bypass", "cord"],
+                           default="bypass")
+    p_san_run.add_argument("--size", type=int, default=4096)
+    p_san_run.add_argument("--seed", type=int, default=7)
+    p_san_run.add_argument("--iters", type=int, default=8,
+                           help="number of sends in the exchange")
+    p_san_run.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    p_san_run.add_argument("--output", default=None,
+                           help="write to this file instead of stdout")
+    p_san_run.set_defaults(func=cmd_sanitize_run)
 
     p_prof = sub.add_parser("profiles", help="show the calibrated testbeds")
     p_prof.set_defaults(func=cmd_profiles)

@@ -70,13 +70,16 @@ class Dataplane:
     def _begin_span(self, op: str, qpn: int, wr_id: int, size: int) -> int:
         """Allocate a span id and emit its ``op_begin`` record."""
         trace = self.sim.trace
+        # sim: allow-unguarded-hook(helper is only called under the caller's trace.enabled guard)
         span = trace.new_span()
+        # sim: allow-unguarded-hook(helper is only called under the caller's trace.enabled guard)
         trace.emit(self.sim.now, "span", "op_begin", span=span,
                    host=self.host.host_id, op=op, dataplane=self.tag,
                    qpn=qpn, wr_id=wr_id, size=size)
         return span
 
     def _end_span(self, span: int) -> None:
+        # sim: allow-unguarded-hook(helper is only called under the caller's trace.enabled guard)
         self.sim.trace.emit(self.sim.now, "span", "op_end", span=span,
                             host=self.host.host_id)
 
@@ -87,9 +90,11 @@ class Dataplane:
         host = self.host.host_id
         for cqe in cqes:
             if cqe.span is not None:
+                # sim: allow-unguarded-hook(helper is only called under the caller's trace.enabled guard)
                 trace.emit(now, "span", "op_end", span=cqe.span, host=host)
 
     def _count_op(self, op: str, n: int = 1, size: float = 0.0) -> None:
+        # sim: allow-unguarded-hook(helper is only called under the caller's telemetry.enabled guard)
         counter = self.sim.telemetry.scope(self.host.name).counter("dataplane.ops")
         for _ in range(n):
             counter.inc(size, key=f"{self.tag}.{op}")

@@ -36,6 +36,7 @@ import os
 from typing import Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.sanitize.runtime import env_sanitize
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import MiniProcess, Process, ProcessGenerator, _Resume
 from repro.sim.rng import RngRegistry
@@ -80,7 +81,18 @@ class Simulator:
     fastpath:
         Force the scalar-yield fast path on/off; ``None`` (default) reads
         ``REPRO_SIM_FASTPATH`` from the environment (on unless ``0``).
+    sanitize:
+        Attach the :mod:`repro.sanitize` runtime checkers (same-timestamp
+        race detector, RNG stream discipline, no-time-travel); ``None``
+        (default) reads ``REPRO_SANITIZE`` from the environment (off
+        unless truthy).  Off costs nothing on the hot loop: ``run()``
+        only picks the instrumented loop when a sanitizer is attached.
     """
+
+    __slots__ = (
+        "_now", "_queue", "_seq", "_active_process", "_fastpath",
+        "_resume_pool", "_cb_pool", "_sanitize", "rng", "trace", "telemetry",
+    )
 
     def __init__(
         self,
@@ -88,6 +100,7 @@ class Simulator:
         trace: Optional[Trace] = None,
         fastpath: Optional[bool] = None,
         telemetry: Optional[Telemetry] = None,
+        sanitize: Optional[bool] = None,
     ):
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, object]] = []
@@ -99,6 +112,12 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._sanitize = None
+        if env_sanitize() if sanitize is None else sanitize:
+            from repro.sanitize.runtime import RuntimeSanitizer
+
+            self._sanitize = RuntimeSanitizer(self)
+            self.rng._sanitize = self._sanitize
 
     # -- clock ----------------------------------------------------------------
 
@@ -225,6 +244,8 @@ class Simulator:
             when, _prio, _seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise _EmptySchedule() from None
+        if self._sanitize is not None:
+            self._sanitize.on_dispatch(when, _prio, event)
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -264,6 +285,8 @@ class Simulator:
         - an :class:`Event` — run until the event is processed and return its
           value (raising its exception if it failed).
         """
+        if self._sanitize is not None:
+            return self._run_sanitized(until)
         stop_event: Optional[Event] = None
         if until is None:
             deadline = float("inf")
@@ -328,6 +351,90 @@ class Simulator:
                 callback(event)
             if not event._ok and not event._defused:
                 raise event._value
+
+    def _run_sanitized(self, until: "float | Event | None" = None) -> object:
+        """Instrumented twin of :meth:`run` used when a sanitizer is attached.
+
+        Same semantics, but each dispatch first reports to the
+        :class:`~repro.sanitize.runtime.RuntimeSanitizer` (bucket
+        accounting for the same-timestamp race detector, the RNG
+        in-dispatch window, the no-time-travel assertion).  Kept separate
+        so the sanitizers-off hot loop above stays branch-free.
+        """
+        san = self._sanitize
+        san.begin_run()
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value  # type: ignore[misc]
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+
+        queue = self._queue
+        heappop = heapq.heappop
+        resume_pool = self._resume_pool
+        cb_pool = self._cb_pool
+        try:
+            while True:
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    stop_event._defused = True
+                    raise stop_event._value  # type: ignore[misc]
+                if not queue:
+                    if stop_event is not None:
+                        raise SimulationError(
+                            "run() stop event will never be triggered: no events left"
+                        )
+                    if deadline != float("inf"):
+                        self._now = deadline
+                    return None
+                if queue[0][0] > deadline:
+                    self._now = deadline
+                    return None
+
+                when, prio, _seq, event = heappop(queue)
+                san.on_dispatch(when, prio, event)
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+                san.in_dispatch = True
+                try:
+                    cls = event.__class__
+                    if cls is _Resume:
+                        process = event.process
+                        event.process = None
+                        resume_pool.append(event)
+                        if process is not None:
+                            process._step(None, None)
+                        continue
+                    if cls is _Callback:
+                        fn, arg = event.fn, event.arg
+                        event.fn = event.arg = None
+                        cb_pool.append(event)
+                        fn(arg)
+                        continue
+
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                finally:
+                    san.in_dispatch = False
+        finally:
+            san.finish()
 
     def run_until_idle(self) -> None:
         """Drain every pending event (alias of ``run(None)`` for readability)."""

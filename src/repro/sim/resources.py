@@ -93,6 +93,7 @@ class Resource:
 
     def _account(self) -> None:
         now = self.sim.now
+        # sim: allow-float-eq(same-instant skip; both floats are copies of sim.now)
         if now != self._last_change:
             self._busy_integral += len(self.users) * (now - self._last_change)
             self._last_change = now
@@ -122,7 +123,9 @@ class Resource:
         the event loop by :meth:`release`, preserving FIFO wake order.
         """
         req = Request(self, priority=priority)
-        now = self.sim._now
+        sim = self.sim
+        now = sim._now
+        # sim: allow-float-eq(same-instant skip; both floats are copies of sim.now)
         if now != self._last_change:
             self._busy_integral += len(self.users) * (now - self._last_change)
             self._last_change = now
@@ -130,9 +133,17 @@ class Resource:
             self.users.append(req)
             req._value = req
             req.callbacks = None
+            parked = False
         else:
             req.callbacks = []
             self._enqueue(req)
+            parked = True
+        san = sim._sanitize
+        if san is not None:
+            # Contended when the grant raced a full resource: an inline win
+            # or a park decides the winner by heap-insertion seq.
+            san.note_touch(self, f"resource {self.name!r}", "request",
+                           contended=parked)
         return req
 
     def _enqueue(self, req: Request) -> None:
@@ -143,10 +154,18 @@ class Resource:
 
     def release(self, req: Request) -> None:
         """Return a slot.  Releasing a queued (ungranted) request cancels it."""
-        now = self.sim._now
+        sim = self.sim
+        now = sim._now
+        # sim: allow-float-eq(same-instant skip; both floats are copies of sim.now)
         if now != self._last_change:
             self._busy_integral += len(self.users) * (now - self._last_change)
             self._last_change = now
+        san = sim._sanitize
+        if san is not None:
+            # A release hands the slot to the FIFO head regardless of seq
+            # order within the bucket, so it never contends by itself.
+            san.note_touch(self, f"resource {self.name!r}", "release",
+                           contended=False)
         try:
             self.users.remove(req)
         except ValueError:

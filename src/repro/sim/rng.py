@@ -16,9 +16,14 @@ import numpy as np
 class RngRegistry:
     """Registry of independent ``numpy.random.Generator`` streams."""
 
+    __slots__ = ("master_seed", "_streams", "_sanitize")
+
     def __init__(self, master_seed: int = 0):
         self.master_seed = int(master_seed)
         self._streams: dict[str, np.random.Generator] = {}
+        #: Set by the owning Simulator when REPRO_SANITIZE is on; streams
+        #: are then wrapped in draw-recording proxies (values unchanged).
+        self._sanitize = None
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream for ``name``."""
@@ -29,6 +34,9 @@ class RngRegistry:
             ).digest()
             seed = int.from_bytes(digest[:8], "little")
             gen = np.random.default_rng(seed)
+            if self._sanitize is not None:
+                # Duck-typed stand-in: forwards every draw to `gen`.
+                gen = self._sanitize.wrap_stream(name, gen)  # type: ignore[assignment]
             self._streams[name] = gen
         return gen
 

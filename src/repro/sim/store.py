@@ -110,6 +110,12 @@ class Store:
             event.callbacks = []
             self._putters.append(event)
             self._dispatch()
+        san = self.sim._sanitize
+        if san is not None:
+            # Parked at return = the store was full: admission order among
+            # same-bucket putters is decided by heap-insertion seq.
+            san.note_touch(self, f"store {self.name!r}", "put",
+                           contended=event.callbacks is not None)
         return event
 
     def get(self) -> StoreGet:
@@ -130,6 +136,12 @@ class Store:
             event.callbacks = []
             self._getters.append(event)
             self._dispatch()
+        san = self.sim._sanitize
+        if san is not None:
+            # Parked at return = the store was empty (or had earlier
+            # getters): wake order among same-bucket getters is seq-decided.
+            san.note_touch(self, f"store {self.name!r}", "get",
+                           contended=event.callbacks is not None)
         return event
 
     def try_get(self) -> Optional[object]:
@@ -139,10 +151,18 @@ class Store:
         """
         if self._getters:
             raise SimulationError(f"try_get on {self.name} with parked getters")
+        san = self.sim._sanitize
         if self.items:
             item = self.items.popleft()
+            if san is not None:
+                # A hit: a same-bucket rival poller would have missed.
+                san.note_touch(self, f"store {self.name!r}", "try_get",
+                               contended=True)
             self._dispatch()
             return item
+        if san is not None:
+            san.note_touch(self, f"store {self.name!r}", "try_get",
+                           contended=False)
         return None
 
     def peek(self) -> Optional[object]:
@@ -191,16 +211,29 @@ class FilterStore(Store):
         event.callbacks = []
         self._getters.append(event)
         self._dispatch()
+        san = self.sim._sanitize
+        if san is not None:
+            # Still parked after the matching pass = waiting; a same-bucket
+            # rival getter whose filter also matches is served by seq order.
+            san.note_touch(self, f"store {self.name!r}", "get",
+                           contended=event.callbacks is not None)
         return event
 
     def try_get(self, filt: Optional[Callable[[object], bool]] = None) -> Optional[object]:  # type: ignore[override]
         if self._getters:
             raise SimulationError(f"try_get on {self.name} with parked getters")
+        san = self.sim._sanitize
         for idx, item in enumerate(self.items):
             if filt is None or filt(item):
                 del self.items[idx]  # type: ignore[arg-type]
+                if san is not None:
+                    san.note_touch(self, f"store {self.name!r}", "try_get",
+                                   contended=True)
                 self._dispatch()
                 return item
+        if san is not None:
+            san.note_touch(self, f"store {self.name!r}", "try_get",
+                           contended=False)
         return None
 
     def _serve(self) -> bool:

@@ -47,6 +47,9 @@ class TraceRecord:
 class Trace:
     """An append-only trace with category filtering and bounded retention."""
 
+    __slots__ = ("enabled", "categories", "max_records", "records",
+                 "dropped", "_subscribers", "_span_seq")
+
     def __init__(
         self,
         enabled: bool = True,

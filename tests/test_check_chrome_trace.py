@@ -1,0 +1,122 @@
+"""Coverage for tools/check_chrome_trace.py (the CI trace validator)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "tools", "check_chrome_trace.py")
+
+spec = importlib.util.spec_from_file_location("check_chrome_trace", TOOL)
+cct = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cct)
+
+
+def _span_x(ts, dur, span="op-1", name="stage"):
+    return {"ph": "X", "name": name, "pid": 1, "tid": 1,
+            "ts": ts, "dur": dur, "args": {"span": span}}
+
+
+def _valid_events():
+    return [
+        {"ph": "B", "name": "run", "pid": 1, "tid": 1, "ts": 0},
+        _span_x(0, 3, name="post"),
+        _span_x(3, 4, name="transmit"),
+        _span_x(7, 2, name="complete"),
+        {"ph": "E", "name": "run", "pid": 1, "tid": 1, "ts": 9},
+    ]
+
+
+def _write(tmp_path, events, name="trace.json", wrap=True):
+    path = tmp_path / name
+    doc = {"traceEvents": events} if wrap else events
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_valid_trace_passes(tmp_path):
+    assert cct.check(_write(tmp_path, _valid_events())) == []
+
+
+def test_bare_event_array_accepted(tmp_path):
+    assert cct.check(_write(tmp_path, _valid_events(), wrap=False)) == []
+
+
+def test_unreadable_file(tmp_path):
+    assert cct.check(str(tmp_path / "missing.json"))[0].startswith("unreadable")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert cct.check(str(bad))[0].startswith("unreadable")
+
+
+def test_empty_trace(tmp_path):
+    assert cct.check(_write(tmp_path, [])) == ["no traceEvents"]
+    path = tmp_path / "obj.json"
+    path.write_text(json.dumps({"other": 1}))
+    assert cct.check(str(path)) == ["no traceEvents"]
+
+
+def test_missing_phase(tmp_path):
+    events = _valid_events() + [{"name": "oops", "pid": 1, "tid": 1, "ts": 1}]
+    errors = cct.check(_write(tmp_path, events))
+    assert any("missing ph" in e for e in errors)
+
+
+def test_unbalanced_begin_end(tmp_path):
+    unclosed = _valid_events()[:-1]  # drop the E
+    errors = cct.check(_write(tmp_path, unclosed))
+    assert any("unclosed B" in e for e in errors)
+
+    stray_end = _valid_events() + [
+        {"ph": "E", "name": "run", "pid": 9, "tid": 9, "ts": 10},
+    ]
+    errors = cct.check(_write(tmp_path, stray_end))
+    assert any("E without matching B" in e for e in errors)
+
+
+def test_negative_ts_or_dur(tmp_path):
+    events = _valid_events()
+    events[1] = _span_x(-1, 4)
+    errors = cct.check(_write(tmp_path, events))
+    assert any("ts/dur >= 0" in e for e in errors)
+
+
+def test_span_out_of_order(tmp_path):
+    events = [_span_x(5, 2), _span_x(0, 5)]
+    errors = cct.check(_write(tmp_path, events))
+    assert any("not causally ordered" in e for e in errors)
+
+
+def test_span_duration_gap(tmp_path):
+    # Stages cover [0,3) and [5,7): a 2-unit hole vs the 7-unit extent.
+    events = [_span_x(0, 3), _span_x(5, 2)]
+    errors = cct.check(_write(tmp_path, events))
+    assert any("do not sum" in e for e in errors)
+
+
+def test_trace_without_spans_is_flagged(tmp_path):
+    events = [
+        {"ph": "B", "name": "run", "pid": 1, "tid": 1, "ts": 0},
+        {"ph": "E", "name": "run", "pid": 1, "tid": 1, "ts": 9},
+    ]
+    errors = cct.check(_write(tmp_path, events))
+    assert errors == ["no span events (args.span) found"]
+
+
+@pytest.mark.parametrize("wrap", [True, False])
+def test_main_exit_codes(tmp_path, capsys, wrap):
+    good = _write(tmp_path, _valid_events(), name="good.json", wrap=wrap)
+    assert cct.main([good]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = _write(tmp_path, [_span_x(5, 2), _span_x(0, 5)], name="bad.json")
+    assert cct.main([good, bad]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "not causally ordered" in out
+
+
+def test_main_without_args_prints_usage(capsys):
+    assert cct.main([]) == 2
+    assert "Usage" in capsys.readouterr().out

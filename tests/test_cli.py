@@ -144,3 +144,54 @@ def test_parser_rejects_unknown_subcommand():
 def test_parser_rejects_bad_profile():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["lat", "--system", "Z"])
+
+
+def test_sanitize_lint_clean_tree(capsys):
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    assert main(["sanitize", "lint", "--root", root]) == 0
+    assert "clean (0 findings)" in capsys.readouterr().out
+
+
+def test_sanitize_lint_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "hot.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nimport time\nt0 = time.time()\n")
+    assert main(["sanitize", "lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "SIM002" in out
+
+
+def test_sanitize_lint_json_output(tmp_path):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    out_file = tmp_path / "findings.json"
+    assert main(["sanitize", "lint", str(bad),
+                 "--format", "json", "--output", str(out_file)]) == 1
+    doc = json.loads(out_file.read_text())
+    assert doc["count"] == 1
+    assert doc["findings"][0]["rule"] == "SIM001"
+
+
+def test_sanitize_lint_rule_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert main(["sanitize", "lint", str(bad), "--rules", "SIM003"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_sanitize_run_clean(capsys):
+    assert main(["sanitize", "run", "--iters", "4"]) == 0
+    assert "clean (0 findings)" in capsys.readouterr().out
+
+
+def test_sanitize_run_cord_json(capsys):
+    import json
+
+    assert main(["sanitize", "run", "--client", "cord", "--server", "cord",
+                 "--iters", "2", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == {"findings": [], "count": 0}

@@ -123,6 +123,37 @@ def test_faults_on_golden_determinism(dataplane):
     assert hooked.retransmits == 0
 
 
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_sanitizers_on_bit_identical_and_clean(dataplane, monkeypatch):
+    """``REPRO_SANITIZE=1`` is observation only: the instrumented dispatch
+    loop and rng proxies must not move a single bit of any result, and the
+    golden no-fault workloads must produce zero runtime findings."""
+    from repro.sanitize import drain_global_findings
+
+    baseline = _measure(dataplane)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    drain_global_findings()
+    sanitized = _measure(dataplane)
+    findings = drain_global_findings()
+    assert findings == [], "\n".join(f.text() for f in findings)
+    assert {k: repr(v) for k, v in baseline.items()} == \
+           {k: repr(v) for k, v in sanitized.items()}
+
+
+def test_sanitizers_on_jittered_bit_identical(monkeypatch):
+    """System A (syscall jitter + DVFS decay) draws heavily from the rng
+    streams the sanitizer wraps — the hardest case for proxy invisibility."""
+    from repro.sanitize import drain_global_findings
+
+    baseline = _measure("cord", system="A")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    drain_global_findings()
+    sanitized = _measure("cord", system="A")
+    assert drain_global_findings() == []
+    assert {k: repr(v) for k, v in baseline.items()} == \
+           {k: repr(v) for k, v in sanitized.items()}
+
+
 def _sweep_point(size: int) -> float:
     return run_bw(_cfg("bypass"), size).duration_ns
 

@@ -149,6 +149,7 @@ def test_priority_resource_serves_in_priority_order(priorities):
 def test_lognormal_jitter_positive_and_exact_when_cv_zero(mean, cv):
     import numpy as np
 
+    # sim: allow-random(seeded local generator feeding a pure-function property test)
     rng = np.random.default_rng(0)
     value = lognormal_jitter(rng, mean, cv)
     assert value > 0
@@ -159,6 +160,7 @@ def test_lognormal_jitter_positive_and_exact_when_cv_zero(mean, cv):
 def test_lognormal_jitter_mean_converges():
     import numpy as np
 
+    # sim: allow-random(seeded local generator feeding a pure-function property test)
     rng = np.random.default_rng(1)
     draws = [lognormal_jitter(rng, 500.0, 0.35) for _ in range(4000)]
     assert abs(np.mean(draws) / 500.0 - 1.0) < 0.05

@@ -1,0 +1,202 @@
+"""The SIM001–SIM006 determinism linter: rules, pragmas, repo cleanliness."""
+
+import json
+import os
+
+import pytest
+
+from repro.sanitize import format_json, format_text, lint_source, run_lint
+from repro.sanitize.findings import PRAGMAS, RULES
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "sanitize_violations.py")
+#: Virtual path putting the fixture inside the strictest rule scope
+#: (src/repro for SIM002/004/005, repro/sim for SIM006).
+VIRTUAL_PATH = os.path.join("src", "repro", "sim", "_violations.py")
+
+
+def _lint_fixture(rules=None):
+    with open(FIXTURE, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path=VIRTUAL_PATH, rules=rules)
+
+
+# -- one seeded violation per rule ----------------------------------------------
+
+
+@pytest.mark.parametrize("rule", ["SIM001", "SIM002", "SIM003",
+                                  "SIM004", "SIM005", "SIM006"])
+def test_fixture_seeds_exactly_one_violation_per_rule(rule):
+    findings = _lint_fixture(rules=[rule])
+    assert len(findings) == 1, [f.text() for f in findings]
+    assert findings[0].rule == rule
+    assert findings[0].hint  # every rule ships a fix hint
+
+
+def test_fixture_total_findings_is_one_per_rule():
+    findings = _lint_fixture()
+    assert sorted(f.rule for f in findings) == [
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+    ]
+
+
+# -- per-rule shapes beyond the fixture ------------------------------------------
+
+
+def test_sim001_unseeded_default_rng():
+    findings = lint_source("g = default_rng()\n", path="tests/x.py")
+    assert [f.rule for f in findings] == ["SIM001"]
+    # Seeded construction outside src/repro/sim/rng.py is still np.random use
+    # when spelled through the namespace, but a bare seeded call passes:
+    assert lint_source("g = default_rng(7)\n", path="tests/x.py") == []
+
+
+def test_sim001_allowed_inside_rng_module():
+    src = "import numpy as np\ng = np.random.default_rng(1)\n"
+    assert lint_source(src, path="src/repro/sim/rng.py") == []
+    assert len(lint_source(src, path="src/repro/hw/nic.py")) >= 1
+
+
+def test_sim002_only_fires_inside_src_repro():
+    src = "import time\nt0 = time.perf_counter()\n"
+    assert [f.rule for f in lint_source(src, path="src/repro/hw/cpu.py")] \
+        == ["SIM002"]
+    assert lint_source(src, path="benchmarks/bench_x.py") == []
+
+
+def test_sim003_sorted_iteration_is_clean():
+    dirty = "for x in {3, 1, 2}:\n    print(x)\n"
+    clean = "for x in sorted({3, 1, 2}):\n    print(x)\n"
+    assert [f.rule for f in lint_source(dirty, path="t.py")] == ["SIM003"]
+    assert lint_source(clean, path="t.py") == []
+
+
+def test_sim003_set_pop():
+    src = "pending = set()\npending.add(1)\nx = pending.pop()\n"
+    assert [f.rule for f in lint_source(src, path="t.py")] == ["SIM003"]
+
+
+def test_sim004_inf_sentinel_compare_is_clean():
+    src = 'if deadline != float("inf"):\n    pass\n'
+    assert lint_source(src, path="src/repro/sim/engine.py") == []
+
+
+def test_sim005_guarded_site_is_clean():
+    guarded = (
+        "def f(self):\n"
+        "    tele = self.sim.telemetry\n"
+        "    if tele.enabled:\n"
+        "        tele.scope('h').counter('x').inc()\n"
+    )
+    unguarded = (
+        "def f(self):\n"
+        "    self.sim.telemetry.scope('h').counter('x').inc()\n"
+    )
+    assert lint_source(guarded, path="src/repro/hw/nic.py") == []
+    assert [f.rule for f in lint_source(unguarded, path="src/repro/hw/nic.py")] \
+        == ["SIM005"]
+
+
+def test_sim005_fault_hook_needs_not_none_guard():
+    guarded = (
+        "def f(self, msg):\n"
+        "    faults = self.faults\n"
+        "    if faults is not None:\n"
+        "        faults.on_transmit(msg)\n"
+    )
+    unguarded = (
+        "def f(self, msg):\n"
+        "    self.faults.on_transmit(msg)\n"
+    )
+    assert lint_source(guarded, path="src/repro/cluster/fabric.py") == []
+    assert [f.rule
+            for f in lint_source(unguarded, path="src/repro/cluster/fabric.py")] \
+        == ["SIM005"]
+
+
+def test_sim006_dataclass_and_exception_exempt():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Rec:\n"
+        "    x: int = 0\n"
+        "class BoomError(Exception):\n"
+        "    pass\n"
+        "class Naked:\n"
+        "    def __init__(self):\n"
+        "        self.x = 1\n"
+    )
+    findings = lint_source(src, path="src/repro/sim/thing.py")
+    assert [f.rule for f in findings] == ["SIM006"]
+    assert "Naked" in findings[0].message
+
+
+# -- pragmas ---------------------------------------------------------------------
+
+
+def test_pragma_with_reason_suppresses():
+    src = ("import random  "
+           "# sim: allow-random(fixture exercising the pragma path)\n")
+    assert lint_source(src, path="t.py") == []
+
+
+def test_pragma_on_previous_line_suppresses():
+    src = ("# sim: allow-random(pragma-above style)\n"
+           "import random\n")
+    assert lint_source(src, path="t.py") == []
+
+
+def test_pragma_without_reason_is_a_finding():
+    src = "import random  # sim: allow-random()\n"
+    rules = sorted(f.rule for f in lint_source(src, path="t.py"))
+    # The violation is NOT suppressed and the empty pragma is flagged.
+    assert rules == ["SIM000", "SIM001"]
+
+
+def test_unknown_pragma_is_a_finding():
+    src = "x = 1  # sim: allow-everything(because)\n"
+    findings = lint_source(src, path="t.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "unknown" in findings[0].message
+
+
+def test_unused_pragma_is_a_finding():
+    src = "x = 1  # sim: allow-random(nothing to suppress here)\n"
+    findings = lint_source(src, path="t.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+    assert "suppresses nothing" in findings[0].message
+
+
+def test_every_lint_rule_has_a_pragma():
+    lint_rules = [r for r in RULES if r.startswith("SIM0") and r != "SIM000"]
+    assert len(lint_rules) == 6
+    assert set(PRAGMAS.values()) == set(lint_rules)
+
+
+# -- output formats ---------------------------------------------------------------
+
+
+def test_text_and_json_formats():
+    findings = _lint_fixture(rules=["SIM001"])
+    text = format_text(findings)
+    assert "SIM001" in text and ":" in text
+    doc = json.loads(format_json(findings))
+    assert doc["count"] == 1
+    entry = doc["findings"][0]
+    assert entry["rule"] == "SIM001"
+    assert entry["line"] > 0 and entry["path"] and entry["hint"]
+
+
+def test_syntax_error_reports_sim000():
+    findings = lint_source("def broken(:\n", path="t.py")
+    assert [f.rule for f in findings] == ["SIM000"]
+
+
+# -- the tree itself --------------------------------------------------------------
+
+
+def test_repo_tree_is_clean():
+    """Every finding on the tree is fixed or pragma'd: CI starts green."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = run_lint(root=root)
+    assert findings == [], "\n" + format_text(findings)
