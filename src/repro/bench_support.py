@@ -11,15 +11,27 @@ quick smoke runs (e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/``).
 ``REPRO_BENCH_WORKERS`` (int, default = CPU count) sets how many worker
 processes :func:`parallel_sweep` fans sweep points over.  ``1`` forces
 serial execution in-process.
+
+:func:`figure_bench` wraps one figure's sweep in wall-clock + simulation
+accounting and appends the measurement to ``results/BENCH_figures.json``
+(override the path with ``REPRO_BENCH_JSON``), keyed by figure name and
+by whether steady-state fast-forward was on — so a base/fast-forward pair
+of runs yields a recorded speedup (see ``tools/check_bench_budget.py``).
+Only same-scale, same-worker-count pairs enter the summary speedup, and
+smoke-scale runs (``REPRO_BENCH_SCALE`` < 1) are never merged into the
+default committed record — set ``REPRO_BENCH_JSON`` to record them.
 """
 
 from __future__ import annotations
 
 import gc
+import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.analysis.compare import CheckResult
 from repro.errors import ConfigError
@@ -78,6 +90,136 @@ def bench_workers() -> int:
     return os.cpu_count() or 1
 
 
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
+
+
+def bench_json_path() -> Path:
+    """Where :func:`figure_bench` records its measurements."""
+    raw = os.environ.get(BENCH_JSON_ENV, "").strip()
+    return Path(raw) if raw else results_dir() / "BENCH_figures.json"
+
+
+def _load_bench_json(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {"benchmarks": {}, "summary": {}}
+    if not isinstance(data, dict):
+        return {"benchmarks": {}, "summary": {}}
+    data.setdefault("benchmarks", {})
+    data.setdefault("summary", {})
+    return data
+
+
+def _summarize(benchmarks: dict) -> dict:
+    """Aggregate base-vs-fast-forward speedup over figures with both runs.
+
+    A pair only counts when both runs were taken at the same ``scale`` and
+    ``workers`` — a smoke-scale ff run against a full-scale base would
+    record a meaningless speedup (and the CI gate evaluates it).
+    Mismatched pairs are listed separately so the gate can name them.
+    """
+    base_s = ff_s = 0.0
+    paired = []
+    mismatched = []
+    scales = set()
+    for name, modes in sorted(benchmarks.items()):
+        if "base" not in modes or "ff" not in modes:
+            continue
+        base, ff = modes["base"], modes["ff"]
+        if (base.get("scale"), base.get("workers")) != \
+                (ff.get("scale"), ff.get("workers")):
+            mismatched.append(name)
+            continue
+        base_s += base["wall_s"]
+        ff_s += ff["wall_s"]
+        paired.append(name)
+        scales.add(base.get("scale"))
+    summary = {"paired_benchmarks": paired}
+    if mismatched:
+        summary["mismatched_benchmarks"] = mismatched
+    if paired and ff_s > 0:
+        summary.update({
+            "base_wall_s": round(base_s, 3),
+            "ff_wall_s": round(ff_s, 3),
+            "speedup": round(base_s / ff_s, 3),
+        })
+        if len(scales) == 1:
+            (summary["scale"],) = scales
+    return summary
+
+
+def record_figure_bench(name: str, entry: dict) -> Optional[Path]:
+    """Merge one figure measurement into the benchmark JSON (see module
+    docstring) and refresh the cross-figure summary.
+
+    The default path is the *committed* full-scale record, so scaled-down
+    smoke runs (``REPRO_BENCH_SCALE`` < 1) are not merged into it — point
+    ``REPRO_BENCH_JSON`` somewhere explicitly to record them.  Returns the
+    path written, or ``None`` when the entry was refused.
+    """
+    if entry.get("scale", 1.0) < 1.0 and not os.environ.get(BENCH_JSON_ENV, "").strip():
+        print(f"[bench] not recording {name!r} at scale {entry.get('scale')} "
+              f"into the committed {bench_json_path()} (set {BENCH_JSON_ENV} "
+              "to record smoke runs)")
+        return None
+    path = bench_json_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = _load_bench_json(path)
+    mode = "ff" if entry.get("fastforward") else "base"
+    data["benchmarks"].setdefault(name, {})[mode] = entry
+    data["summary"] = _summarize(data["benchmarks"])
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@contextmanager
+def figure_bench(name: str):
+    """Account one figure's sweep: wall-clock seconds plus simulation-side
+    run stats (events simulated, fast-forward skips), recorded into
+    ``BENCH_figures.json``.
+
+    Wall-clock here is benchmark instrumentation *about* the simulator,
+    never an input to it — results stay bit-identical with or without the
+    wrapper.
+    """
+    from repro.perftest.runner import run_stats_snapshot
+
+    before = run_stats_snapshot()
+    t0 = time.perf_counter()  # sim: allow-wallclock(benchmark harness timing, not simulation input)
+    yield
+    wall = time.perf_counter() - t0  # sim: allow-wallclock(benchmark harness timing, not simulation input)
+    after = run_stats_snapshot()
+    entry = {
+        "wall_s": round(wall, 4),
+        "scale": bench_scale(),
+        "workers": bench_workers(),
+        "fastforward": _fastforward_on(),
+    }
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        entry[key] = round(delta, 3) if isinstance(delta, float) else delta
+    record_figure_bench(name, entry)
+
+
+def _fastforward_on() -> bool:
+    from repro.perftest.runner import _fastforward_on as ff_on
+
+    return ff_on()
+
+
+def _instrumented_point(task):
+    """Worker-side wrapper: run one sweep point and ship the per-point run
+    stats back with the result (the parent merges them, so figure_bench
+    totals are identical for any worker count)."""
+    from repro.perftest.runner import reset_run_stats, run_stats_snapshot
+
+    point, p = task
+    reset_run_stats()
+    result = point(p)
+    return result, run_stats_snapshot()
+
+
 def _worker_init() -> None:
     # Sweep workers churn through millions of short-lived simulation
     # objects with reference cycles (process <-> event).  The default gen-0
@@ -121,7 +263,13 @@ def parallel_sweep(
     with ProcessPoolExecutor(
         max_workers=workers, mp_context=ctx, initializer=_worker_init
     ) as pool:
-        return list(pool.map(point, points, chunksize=1))
+        out = list(pool.map(_instrumented_point,
+                            [(point, p) for p in points], chunksize=1))
+    from repro.perftest.runner import merge_run_stats
+
+    for _result, snap in out:
+        merge_run_stats(snap)
+    return [result for result, _snap in out]
 
 
 def emit(name: str, text: str) -> None:

@@ -42,6 +42,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="fault-injection spec, e.g. 'loss=0.01' or "
                         "'loss=0.005,flap=1e6:2e6,pause=1:5e5:8e5' "
                         "(see repro.faults.parse_fault_spec)")
+    p.add_argument("--fast-forward", dest="fast_forward", default=None,
+                   action="store_true",
+                   help="skip provably periodic steady-state loop cycles "
+                        "(bit-identical results; also REPRO_FASTFORWARD=1)")
+    p.add_argument("--no-fast-forward", dest="fast_forward",
+                   action="store_false",
+                   help="force fast-forward off, overriding REPRO_FASTFORWARD")
 
 
 def _config(args, default_iters: int) -> PerftestConfig:
@@ -55,7 +62,7 @@ def _config(args, default_iters: int) -> PerftestConfig:
         system=args.system, transport=args.transport, op=args.op,
         client=args.client, server=args.server,
         iters=args.iters or default_iters, techniques=tech, seed=args.seed,
-        faults=faults,
+        faults=faults, fastforward=args.fast_forward,
     )
 
 

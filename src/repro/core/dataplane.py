@@ -152,9 +152,10 @@ class Dataplane:
             return (yield from self._wait_event(cq, max_entries))
         ready = cq.wait_nonempty()
         if not ready.processed:
-            t0 = self.sim.now
-            yield from self.core.busy_poll(ready, 0.0)
-            self._waited(self.sim.now - t0)
+            # busy_poll measures the spin itself (via a shift-aware start
+            # mark), so the duration excludes any fast-forwarded jump.
+            waited = yield from self.core.busy_poll(ready, 0.0)
+            self._waited(waited)
         # One unsuccessful probe (the loop iteration that raced the CQE)
         # plus the successful reap.
         yield from self._charge_poll(hit=False)
@@ -178,9 +179,8 @@ class Dataplane:
         ready = [cq for cq in cqs if cq.entries]
         if not ready:
             first = self.sim.wait_any([cq.wait_nonempty() for cq in cqs])
-            t0 = self.sim.now
-            yield from self.core.busy_poll(first, 0.0)
-            self._waited(self.sim.now - t0)
+            waited = yield from self.core.busy_poll(first, 0.0)
+            self._waited(waited)
             ready = [cq for cq in cqs if cq.entries]
         yield from self._charge_poll(hit=False)
         out: list[CQE] = []
@@ -233,6 +233,13 @@ class Dataplane:
 
     def _waited(self, duration_ns: float) -> None:
         """Hook: the dataplane spun for ``duration_ns`` awaiting a CQE.
+
+        ``duration_ns`` is the spin proper — measured by ``busy_poll``
+        from the moment the core was *acquired* (via a shift-aware mark,
+        so fast-forward jumps never inflate it).  Time queued behind
+        another thread on a shared core is deliberately excluded: while
+        descheduled the process issues no poll syscalls, so counting that
+        interval would overstate the DVFS idle credit below.
 
         Bypass spins in a tight user-space loop (full duty).  CoRD spins
         through repeated poll *syscalls*; the entry/exit stalls lower the

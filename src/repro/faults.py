@@ -98,6 +98,20 @@ class FaultPlan:
         return bool(self.loss > 0.0 or self.flaps
                     or any(prob > 0.0 for _s, _d, prob in self.link_loss))
 
+    @property
+    def fastforward_safe(self) -> bool:
+        """May steady-state fast-forward arm with this plan attached? Never.
+
+        Even a plan whose windows look inert perturbs extrapolation: flap,
+        degrade, stall and pause windows trigger on *absolute* simulated
+        time, so a bulk clock advance could jump over (or into) one, and
+        probabilistic loss draws per transmitted message, which skipped
+        cycles would silently not consume.  The fast-forward probe
+        therefore refuses to arm whenever any plan is attached — fidelity
+        over speed on the fault path.
+        """
+        return False
+
 
 class FaultInjector:
     """Binds a :class:`FaultPlan` to one simulator and makes the calls.

@@ -23,10 +23,21 @@ from repro.errors import HardwareError
 from repro.hw.profiles import CpuProfile, SystemProfile
 from repro.sim.events import Event
 from repro.sim.resources import Resource
-from repro.sim.rng import lognormal_jitter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+#: Idle gaps beyond this many DVFS windows leave a residual duty of at most
+#: ``e**-48`` ~ 1.4e-21 — below half an ulp of every expression the duty
+#: feeds (``1 - duty`` in :meth:`Core.frequency_factor`, ``duty * frac``
+#: against ``1 - frac`` in :meth:`Core._absorb_busy` for any busy slice
+#: longer than a nanosecond; the shortest slice in any profile is the 28 ns
+#: poll check, a 38x margin) — so the governor flushes the EMA to an exact
+#: 0.0.  That makes "cold" an absorbing, canonical state: a core left idle
+#: this long behaves bit-identically to a freshly built one no matter how
+#: much *longer* it idled, which is what lets the steady-state fast-forward
+#: signature treat all such cores as equal (see :meth:`Core._timing_state`).
+_COLD_WINDOWS = 48.0
 
 
 class Core:
@@ -45,24 +56,77 @@ class Core:
         self.index = index
         self.name = name or f"core{index}"
         self.res = Resource(sim, capacity=1, name=self.name)
-        self._rng = sim.rng.stream(f"cpu:{self.name}")
+        self._jitter = sim.rng.jitter_stream(f"cpu:{self.name}")
         #: Telemetry scope: core names are "<host>.coreN" (host scope).
         self._scope = self.name.split(".", 1)[0]
         # Duty-cycle EMA state for the DVFS governor.
         self._duty: float = 0.0
         self._duty_t: float = sim.now
+        #: Absolute start of an in-progress busy-poll (None outside one).
+        self._poll_t0: Optional[float] = None
         # Accounting.
         self.busy_ns: float = 0.0
         self.syscalls: int = 0
+        # Hooks are registered lazily at first dispatch: an idle core's duty
+        # EMA is pinned at 0.0 (decay multiplies zero), so it has no
+        # timing-relevant state to shift or to publish — and a many-core
+        # host would otherwise make every steady-state signature pay for
+        # hundreds of inert providers.
+        self._hooked = False
+
+    def _ensure_hooks(self) -> None:
+        """Register clock-shift / state hooks at first dispatch.
+
+        Absolute timestamps must survive bulk clock advances (steady-state
+        fast-forward): shift them with the clock so every ``now - t`` gap
+        the core computes is translation-invariant.  The duty EMA feeds
+        back into timing only with turbo on, so only those cores publish
+        governor state into steady-state signatures.
+        """
+        self._hooked = True
+        self.sim.on_time_shift(self._on_time_shift)
+        if self.system.turbo_enabled:
+            self.sim.register_state_provider(self._timing_state)
+
+    def _on_time_shift(self, shift: float) -> None:
+        self._duty_t += shift
+        if self._poll_t0 is not None:
+            self._poll_t0 += shift
+
+    def _timing_state(self) -> tuple:
+        """Timing-relevant governor state for steady-state signatures.
+
+        The pending idle gap is part of the state (decay is lazy), which
+        would make an abandoned core — busy during setup, never touched
+        again — look aperiodic forever as its staleness grows.  Once the
+        pending decay is past ``_COLD_WINDOWS`` the flush in
+        :meth:`_decay_duty` guarantees the next query yields an exact 0.0
+        regardless of how stale the core got, so every such state is
+        reported as one canonical cold tuple.
+        """
+        gap = self.sim.now - self._duty_t
+        if self._duty == 0.0 or gap >= _COLD_WINDOWS * self.profile.dvfs_window_ns:
+            return (self.name, "cold")
+        return (self.name, self._duty, gap)
 
     # -- DVFS -------------------------------------------------------------------
 
     def _decay_duty(self) -> None:
-        """Decay the duty EMA over the idle gap since the last update."""
+        """Decay the duty EMA over the idle gap since the last update.
+
+        Gaps past ``_COLD_WINDOWS`` flush to an exact 0.0: the residual
+        (< 1.6e-28) is beneath half an ulp of everything downstream, so
+        the flush is bit-invisible to timing while making long-idle cores
+        canonically cold.
+        """
         now = self.sim.now
         gap = now - self._duty_t
         if gap > 0:
-            self._duty *= math.exp(-gap / self.profile.dvfs_window_ns)
+            window = self.profile.dvfs_window_ns
+            if gap >= _COLD_WINDOWS * window:
+                self._duty = 0.0
+            else:
+                self._duty *= math.exp(-gap / window)
             self._duty_t = now
 
     def _absorb_busy(self, duration: float) -> None:
@@ -103,6 +167,8 @@ class Core:
         """
         if work_ns < 0:
             raise HardwareError(f"negative work: {work_ns}")
+        if not self._hooked:
+            self._ensure_hooks()
         req = self.res.request()
         yield req
         try:
@@ -136,7 +202,7 @@ class Core:
         jitter on virtualized systems.
         """
         base = self.system.syscall_cost() + kernel_work_ns
-        cost = lognormal_jitter(self._rng, base, self.system.syscall_jitter_cv)
+        cost = self._jitter.draw(base, self.system.syscall_jitter_cv)
         self.syscalls += 1
         tele = self.sim.telemetry
         if tele.enabled:
@@ -151,13 +217,19 @@ class Core:
         for the DVFS governor (the defining property of polling), and the
         caller pays one final ``check_ns`` to observe the result.
         """
+        if not self._hooked:
+            self._ensure_hooks()
         req = self.res.request()
         yield req
         try:
-            start = self.sim.now
+            # The start mark lives on the core (not a generator local) so a
+            # bulk clock advance can translate it: the measured wait then
+            # never includes fast-forwarded time another process skipped.
+            self._poll_t0 = self.sim.now
             if not until.processed:
                 yield until
-            waited = self.sim.now - start
+            waited = self.sim.now - self._poll_t0
+            self._poll_t0 = None
             if self.system.turbo_enabled:
                 tail = check_ns / self.frequency_factor
                 if tail > 0:
@@ -182,23 +254,40 @@ class CpuSet:
     def __init__(self, sim: "Simulator", system: SystemProfile, host_name: str = "host"):
         self.sim = sim
         self.system = system
-        self.cores = [
-            Core(sim, system, index=i, name=f"{host_name}.core{i}")
-            for i in range(system.cpu.cores)
-        ]
+        self._host_name = host_name
+        # Cores materialize on first pin: a 120-core profile (Azure HB120)
+        # would otherwise build hundreds of Core objects — and as many named
+        # rng streams — that no benchmark ever touches.  Stream seeds derive
+        # from (master seed, name) alone, so creation order cannot perturb
+        # any draw.
+        self._cores: list[Optional[Core]] = [None] * system.cpu.cores
         self._next_pin = 0
+
+    def _core(self, index: int) -> Core:
+        core = self._cores[index]
+        if core is None:
+            core = self._cores[index] = Core(
+                self.sim, self.system, index=index,
+                name=f"{self._host_name}.core{index}",
+            )
+        return core
+
+    @property
+    def cores(self) -> list[Core]:
+        """All cores, materializing any not yet pinned (telemetry export)."""
+        return [self._core(i) for i in range(len(self._cores))]
 
     def pin(self, core_index: Optional[int] = None) -> Core:
         """Claim a core: explicit index, or round-robin when None."""
         if core_index is None:
-            core = self.cores[self._next_pin % len(self.cores)]
+            index = self._next_pin % len(self._cores)
             self._next_pin += 1
-            return core
-        if not 0 <= core_index < len(self.cores):
+            return self._core(index)
+        if not 0 <= core_index < len(self._cores):
             raise HardwareError(
-                f"core index {core_index} out of range 0..{len(self.cores) - 1}"
+                f"core index {core_index} out of range 0..{len(self._cores) - 1}"
             )
-        return self.cores[core_index]
+        return self._core(core_index)
 
     def __len__(self) -> int:
-        return len(self.cores)
+        return len(self._cores)

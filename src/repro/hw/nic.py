@@ -36,6 +36,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Wire header size charged per message (BTH + transport headers).
 HEADER_BYTES = 48
+
+#: Wire-message kind per send opcode (hoisted off the per-message TX path).
+_OPCODE_KIND = {
+    Opcode.SEND: "send",
+    Opcode.SEND_WITH_IMM: "send",
+    Opcode.RDMA_WRITE: "write",
+    Opcode.RDMA_WRITE_WITH_IMM: "write",
+    Opcode.RDMA_READ: "read_req",
+    Opcode.ATOMIC_FETCH_ADD: "atomic",
+    Opcode.ATOMIC_CMP_SWAP: "atomic",
+}
 #: RNR NAK retry back-off at the initiator.
 RNR_DELAY_NS = 12_000.0
 #: Fraction of rx engine occupancy an ACK costs relative to a data message.
@@ -95,6 +106,38 @@ class Nic:
         self._mem_watchers: list[tuple[int, int, object]] = []
         #: Set by the IPoIB device: receives kind == "ip" wire messages.
         self.ip_handler: Optional[Callable[[WireMessage], None]] = None
+        sim.register_state_provider(self._queue_depth_state)
+
+    def _queue_depth_state(self) -> tuple:
+        """Queue-depth fingerprint for steady-state cycle probes.
+
+        Every *level* (never a monotone counter — those cannot recur) in
+        the device that shapes future timing: the tx/rx engine backlogs
+        and each QP's in-flight occupancy.  Without these, consecutive
+        boundaries while the tx engine drains a doorbelled burst are
+        indistinguishable — the backlog is object state, not a pending
+        event, so neither the step signature nor the queue signature sees
+        it — and a fast-forward probe can prove a period-1 schedule inside
+        the quiet stretch between bursts, then jump over bursts whose
+        cycles are longer (observed as a per-jump time deficit in
+        ``send_bw``).  With the backlog in the component state, boundaries
+        at different drain depths hash differently and only the true
+        burst super-period can recur.
+
+        CQ depths are deliberately absent: push and poll cost the same at
+        any depth, so entries parked in an unreaped CQ (``send_lat``
+        never reaps its send CQ) carry no timing influence — and their
+        monotone growth would keep any signature from ever recurring.
+        """
+        return (
+            len(self._tx_store.items),
+            len(self._rx_store.items),
+            tuple(
+                (qpn, qp.sq_outstanding, len(qp.rq), len(qp.outstanding),
+                 len(qp.reorder), len(qp.retx_retries))
+                for qpn, qp in sorted(self._qps.items())
+            ),
+        )
 
     # -- wiring -----------------------------------------------------------------
 
@@ -240,15 +283,7 @@ class Nic:
             except MemoryAccessError:
                 if not wr.inline:
                     raise
-        kind = {
-            Opcode.SEND: "send",
-            Opcode.SEND_WITH_IMM: "send",
-            Opcode.RDMA_WRITE: "write",
-            Opcode.RDMA_WRITE_WITH_IMM: "write",
-            Opcode.RDMA_READ: "read_req",
-            Opcode.ATOMIC_FETCH_ADD: "atomic",
-            Opcode.ATOMIC_CMP_SWAP: "atomic",
-        }[wr.opcode]
+        kind = _OPCODE_KIND[wr.opcode]
         header = HEADER_BYTES + (
             self.profile.grh_bytes if qp.transport is Transport.UD else 0
         )

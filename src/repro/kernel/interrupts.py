@@ -17,7 +17,6 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.hw.cpu import Core
 from repro.hw.profiles import SystemProfile
-from repro.sim.rng import lognormal_jitter
 from repro.sim.store import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -32,7 +31,7 @@ class IrqModel:
     def __init__(self, sim: "Simulator", system: SystemProfile, host_id: int):
         self.sim = sim
         self.system = system
-        self._rng = sim.rng.stream(f"irq:h{host_id}")
+        self._jitter = sim.rng.jitter_stream(f"irq:h{host_id}")
         self._scope = f"host{host_id}"
         self.delivered = 0
 
@@ -45,7 +44,7 @@ class IrqModel:
         tele = self.sim.telemetry
         if tele.enabled:
             tele.scope(self._scope).counter("kernel.irqs").inc()
-        return lognormal_jitter(self._rng, base, self.system.syscall_jitter_cv)
+        return self._jitter.draw(base, self.system.syscall_jitter_cv)
 
 
 class CompletionChannel:

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.endpoint import Endpoint
     from repro.sim.engine import Simulator
     from repro.sim.events import Event
+    from repro.sim.fastforward import FastForward
 
 
 @dataclass
@@ -74,6 +75,7 @@ def send_bw(
     window: int = 128,
     warmup: int = 64,
     techniques: Techniques = Techniques(),
+    fastforward: "FastForward" = None,
 ) -> Generator["Event", object, BwResult]:
     """Two-sided streaming send; bandwidth measured at the receiver."""
     if size < 0 or size > sender.buf.length:
@@ -85,6 +87,19 @@ def send_bw(
     done = sim.event(name="send_bw.done")
 
     tx_done = sim.event(name="send_bw.tx_done")
+
+    probe = fastforward
+    if probe is not None:
+        # The end-game (rx reposts stop, tx drains, UD grace) begins once
+        # `received` gets within rq_target+window of the end — keep every
+        # jump comfortably short of it so the wind-down is simulated.
+        # The last milestone is a hard stop: no skipping once `received`
+        # passes it (probe disarms), so the whole drain runs at full
+        # fidelity.  The tx burst schedule recurs every `sig` receive
+        # boundaries, so the period search must reach past it.
+        tail = rq_target + window + 16
+        probe.begin("received", (warmup, max(warmup + 1, total - tail)),
+                    max_period=2 * _signal_every(window, techniques) + 4)
 
     def rx() -> Generator["Event", object, None]:
         posted = 0
@@ -126,6 +141,16 @@ def send_bw(
                     posted += 1
             # Replenish the RQ with one chained call (as perftest does).
             yield from receiver.dataplane.post_recv_many(receiver.qp, reposts)
+            if probe is not None and probe.enabled:
+                skip = probe.observe(
+                    {"received": received, "measured": measured,
+                     "posted": posted},
+                    (t_start is None, tx_done.processed),
+                )
+                if skip is not None:
+                    received += skip.counters["received"]
+                    measured += skip.counters["measured"]
+                    posted += skip.counters["posted"]
         if t_start is None:  # degenerate: everything landed in the warmup
             t_start = sim.now
         done.succeed(
@@ -142,6 +167,11 @@ def send_bw(
         unsignaled = 0
         loop_ns = sender.host.system.cpu.loop_overhead_ns
         while posted < total:
+            if probe is not None:
+                # Fold in iterations the receiver's probe skipped (the
+                # per-period delta is provably ≡ 0 mod `sig`, so the
+                # signaling phase below is undisturbed).
+                posted += probe.take_aux("tx").get("posted", 0)
             while posted < total and inflight < window:
                 yield from sender.core.run(loop_ns)
                 yield from techniques.charge_send_side(sender, size)
@@ -155,6 +185,17 @@ def send_bw(
                 inflight += 1
                 if not signaled:
                     unsignaled += 1
+                if probe is not None and probe.enabled:
+                    # Report every post, not just reap points: when the
+                    # send side is the bottleneck (e.g. zero-copy removed)
+                    # the window never fills, the reap below never runs,
+                    # and the receiver's probe would otherwise see no tx
+                    # state at all — free to prove a bogus period inside
+                    # the signaling super-period.  Per-post state makes
+                    # the ramp (inflight still growing) visibly aperiodic
+                    # and gives each signaling phase a distinct signature.
+                    probe.observe_aux("tx", {"posted": posted},
+                                      (inflight, unsignaled, posted % sig))
             cqes = yield from sender.dataplane.wait_cq(
                 sender.send_cq, max_entries=16, mode=techniques.wait_mode
             )
@@ -165,6 +206,9 @@ def send_bw(
                 retired = min(unsignaled, sig - 1) + 1
                 unsignaled -= retired - 1
                 inflight -= retired
+            if probe is not None and probe.enabled:
+                probe.observe_aux("tx", {"posted": posted},
+                                  (inflight, unsignaled, posted % sig))
         tx_done.succeed(None)
 
     sim.process(rx(), name="send_bw.rx")
@@ -183,12 +227,19 @@ def _one_sided_bw(
     window: int,
     warmup: int,
     techniques: Techniques,
+    fastforward: "FastForward" = None,
 ) -> Generator["Event", object, BwResult]:
     if size < 0 or size > initiator.buf.length:
         raise ConfigError(f"bad message size {size}")
     window = min(window, initiator.qp.sq_depth)
     total = warmup + iters
     sig = _signal_every(window, techniques)
+    probe = fastforward
+    if probe is not None:
+        # As in send_bw: the last milestone is a hard stop, the wind-down
+        # (final signaled WR, inflight drain) always simulates.
+        tail = window + 32
+        probe.begin("completed", (warmup, max(warmup + 1, total - tail)))
     posted = 0
     inflight = 0
     unsignaled = 0
@@ -218,26 +269,40 @@ def _one_sided_bw(
             unsignaled -= retired - 1
             inflight -= retired
             completed += retired
-        if t_start is None and completed >= warmup:
-            t_start = sim.now
-            completed_at_mark = completed
-    if t_start is None:  # degenerate tiny run
+            # Mark the warmup crossing at the retirement that crosses it
+            # (mirrors send_bw's per-completion `received == warmup` mark,
+            # instead of the old post-batch check that over-counted the
+            # crossing batch into the warmup).
+            if t_start is None and completed >= warmup:
+                t_start = sim.now
+                completed_at_mark = completed
+        if probe is not None and probe.enabled:
+            skip = probe.observe(
+                {"completed": completed, "posted": posted},
+                (inflight, unsignaled, posted % sig, t_start is None),
+            )
+            if skip is not None:
+                completed += skip.counters["completed"]
+                posted += skip.counters["posted"]
+    if t_start is None:
+        # Degenerate run that never left the warmup: same accounting as
+        # send_bw's fallback — zero duration, measured clamps to 1 below.
         t_start = sim.now
-        completed_at_mark = 0
-    measured = max(total - completed_at_mark, 1)
+        completed_at_mark = completed
+    measured = max(completed - completed_at_mark, 1)
     return BwResult(size=size, iters=measured, window=window,
                     duration_ns=sim.now - t_start)
 
 
 def write_bw(sim, initiator, target, size, iters=400, window=128, warmup=64,
-             techniques: Techniques = Techniques()):
+             techniques: Techniques = Techniques(), fastforward=None):
     """One-sided write streaming (initiator-measured)."""
     return _one_sided_bw(sim, initiator, target, Opcode.RDMA_WRITE, size,
-                         iters, window, warmup, techniques)
+                         iters, window, warmup, techniques, fastforward)
 
 
 def read_bw(sim, initiator, target, size, iters=400, window=128, warmup=64,
-            techniques: Techniques = Techniques()):
+            techniques: Techniques = Techniques(), fastforward=None):
     """One-sided read streaming (initiator-measured)."""
     return _one_sided_bw(sim, initiator, target, Opcode.RDMA_READ, size,
-                         iters, window, warmup, techniques)
+                         iters, window, warmup, techniques, fastforward)

@@ -24,6 +24,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.endpoint import Endpoint
     from repro.sim.engine import Simulator
     from repro.sim.events import Event
+    from repro.sim.fastforward import FastForward, Skip
+
+
+def _replicate_samples(samples: list, skip: "Skip") -> None:
+    """Extend ``samples`` with the skipped cycles' (bit-identical) values.
+
+    Valid because the probe only jumps from a fully periodic post-warmup
+    region: the last ``skip.units`` samples are exactly the pattern every
+    skipped period would have produced.
+    """
+    samples.extend(samples[-skip.units:] * skip.cycles)
 
 
 @dataclass
@@ -68,6 +79,7 @@ def send_lat(
     iters: int = 200,
     warmup: int = 20,
     techniques: Techniques = Techniques(),
+    fastforward: "FastForward" = None,
 ) -> Generator["Event", object, LatencyResult]:
     """Two-sided ping-pong; result is RTT/2 per iteration."""
     _check_size(client, size)
@@ -76,6 +88,9 @@ def send_lat(
     result = LatencyResult(size=size, iters=iters)
     total = warmup + iters
     done = sim.event(name="send_lat.done")
+    probe = fastforward
+    if probe is not None:
+        probe.begin("i", (warmup, total))
 
     def responder() -> Generator["Event", object, None]:
         for _ in range(total):
@@ -96,7 +111,8 @@ def send_lat(
             yield from server.post_send(pong)
 
     def initiator() -> Generator["Event", object, None]:
-        for i in range(total):
+        i = 0
+        while i < total:
             yield from client.post_recv(
                 RecvWR(wr_id=0, addr=client.buf.addr, length=client.buf.length,
                        lkey=client.mr.lkey)
@@ -113,8 +129,16 @@ def send_lat(
             )
             assert cqes and cqes[0].ok
             yield from techniques.charge_recv_side(client, size)
-            if i >= warmup:
+            sampled = i >= warmup
+            if sampled:
                 result.samples.append((sim.now - t0) / 2.0)
+            i += 1
+            if probe is not None and probe.enabled:
+                skip = probe.observe({"i": i})
+                if skip is not None:
+                    if sampled:
+                        _replicate_samples(result.samples, skip)
+                    i += skip.counters["i"]
         done.succeed(result)
 
     sim.process(responder(), name="send_lat.server")
@@ -131,11 +155,17 @@ def read_lat(
     iters: int = 200,
     warmup: int = 20,
     techniques: Techniques = Techniques(),
+    fastforward: "FastForward" = None,
 ) -> Generator["Event", object, LatencyResult]:
     """Dependent RDMA reads; the server CPU does nothing (key for fig. 3)."""
     _check_size(client, size)
     result = LatencyResult(size=size, iters=iters)
-    for i in range(warmup + iters):
+    total = warmup + iters
+    probe = fastforward
+    if probe is not None:
+        probe.begin("i", (warmup, total))
+    i = 0
+    while i < total:
         t0 = sim.now
         wr = SendWR(wr_id=0, opcode=Opcode.RDMA_READ, addr=client.buf.addr,
                     length=size, lkey=client.mr.lkey,
@@ -146,8 +176,16 @@ def read_lat(
         )
         assert cqes and cqes[0].ok
         yield from techniques.charge_recv_side(client, size)
-        if i >= warmup:
+        sampled = i >= warmup
+        if sampled:
             result.samples.append(sim.now - t0)
+        i += 1
+        if probe is not None and probe.enabled:
+            skip = probe.observe({"i": i})
+            if skip is not None:
+                if sampled:
+                    _replicate_samples(result.samples, skip)
+                i += skip.counters["i"]
     return result
 
 
@@ -159,6 +197,7 @@ def write_lat(
     iters: int = 200,
     warmup: int = 20,
     techniques: Techniques = Techniques(),
+    fastforward: "FastForward" = None,
 ) -> Generator["Event", object, LatencyResult]:
     """Write ping-pong with memory polling (perftest's write_lat scheme:
     the data exchange is two RDMA writes, one per direction)."""
@@ -169,6 +208,9 @@ def write_lat(
     result = LatencyResult(size=size, iters=iters)
     total = warmup + iters
     done = sim.event(name="write_lat.done")
+    probe = fastforward
+    if probe is not None:
+        probe.begin("i", (warmup, total))
 
     def responder() -> Generator["Event", object, None]:
         # Arm the first watch before any ping can land; re-arm *before*
@@ -190,7 +232,8 @@ def write_lat(
             assert cqes and cqes[0].ok
 
     def initiator() -> Generator["Event", object, None]:
-        for i in range(total):
+        i = 0
+        while i < total:
             watch = client.host.nic.watch_memory(client.buf.addr, size)
             t0 = sim.now
             yield from techniques.charge_send_side(client, size)
@@ -204,8 +247,16 @@ def write_lat(
             assert cqes and cqes[0].ok
             yield from client.core.busy_poll(watch, client.host.system.cpu.poll_hit_ns)
             yield from techniques.charge_recv_side(client, size)
-            if i >= warmup:
+            sampled = i >= warmup
+            if sampled:
                 result.samples.append((sim.now - t0) / 2.0)
+            i += 1
+            if probe is not None and probe.enabled:
+                skip = probe.observe({"i": i})
+                if skip is not None:
+                    if sampled:
+                        _replicate_samples(result.samples, skip)
+                    i += skip.counters["i"]
         done.succeed(result)
 
     sim.process(responder(), name="write_lat.server")

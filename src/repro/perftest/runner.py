@@ -21,7 +21,7 @@ from repro.hw.profiles import SystemProfile, get_profile
 from repro.perftest.bw import BwResult, read_bw, send_bw, write_bw
 from repro.perftest.lat import LatencyResult, read_lat, send_lat, write_lat
 from repro.perftest.techniques import Techniques
-from repro.sim import Simulator
+from repro.sim import FastForward, Simulator
 
 OPS = ("send", "read", "write")
 TRANSPORTS = ("RC", "UD")
@@ -35,9 +35,76 @@ TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
 #: Trace ring-buffer cap while telemetry is on (bounds benchmark memory).
 TELEMETRY_MAX_RECORDS = 200_000
 
+#: Opt-in steady-state fast-forward: set REPRO_FASTFORWARD=1 (or pass
+#: ``--fast-forward`` / ``PerftestConfig.fastforward=True``) to let every
+#: measurement skip provably periodic loop cycles.  Results stay
+#: bit-identical (see tests/test_fastforward.py); the probe auto-disarms
+#: whenever exactness cannot be proven (faults, trace export, RNG draws
+#: inside the loop — e.g. system A's syscall jitter).
+FASTFORWARD_ENV = "REPRO_FASTFORWARD"
+
 
 def _telemetry_on() -> bool:
     return os.environ.get(TELEMETRY_ENV, "").lower() in ("1", "true", "yes", "on")
+
+
+def _fastforward_on() -> bool:
+    return os.environ.get(FASTFORWARD_ENV, "").lower() in ("1", "true", "yes", "on")
+
+
+#: Per-process accounting across measurements (benchmark instrumentation;
+#: ``bench_support.parallel_sweep`` merges workers' deltas back into the
+#: parent so `figure_bench` sees sweep-wide totals).
+RUN_STATS: dict[str, float] = {}
+
+
+def _zero_stats() -> dict[str, float]:
+    return {
+        "measurements": 0,
+        "events_scheduled": 0,
+        "ff_jumps": 0,
+        "ff_cycles_skipped": 0,
+        "ff_units_skipped": 0,
+        "ff_events_skipped": 0,
+        "ff_time_skipped_ns": 0.0,
+    }
+
+
+RUN_STATS.update(_zero_stats())
+
+
+def reset_run_stats() -> None:
+    RUN_STATS.update(_zero_stats())
+
+
+def run_stats_snapshot() -> dict[str, float]:
+    return dict(RUN_STATS)
+
+
+def merge_run_stats(delta: dict) -> None:
+    for key, value in delta.items():
+        RUN_STATS[key] = RUN_STATS.get(key, 0) + value
+
+
+def _make_probe(sim: Simulator, config: "PerftestConfig",
+                label: str) -> Optional[FastForward]:
+    enabled = config.fastforward if config.fastforward is not None \
+        else _fastforward_on()
+    if not enabled:
+        return None
+    return FastForward(sim, faults=config.faults, label=label)
+
+
+def _note_run(sim: Simulator, probe: Optional[FastForward]) -> None:
+    RUN_STATS["measurements"] += 1
+    RUN_STATS["events_scheduled"] += sim.events_scheduled
+    if probe is not None:
+        stats = probe.stats
+        RUN_STATS["ff_jumps"] += stats.jumps
+        RUN_STATS["ff_cycles_skipped"] += stats.cycles_skipped
+        RUN_STATS["ff_units_skipped"] += stats.units_skipped
+        RUN_STATS["ff_events_skipped"] += stats.events_skipped
+        RUN_STATS["ff_time_skipped_ns"] += stats.time_skipped_ns
 
 
 def _export_telemetry(sim: Simulator, config: "PerftestConfig", size: int,
@@ -74,6 +141,10 @@ class PerftestConfig:
     #: Optional fault-injection plan (see :mod:`repro.faults`): attached
     #: to the fabric of every measurement built from this config.
     faults: Optional[FaultPlan] = None
+    #: Steady-state fast-forward: True/False force it on/off for this
+    #: config; None defers to REPRO_FASTFORWARD.  Bit-identical either
+    #: way — the probe disarms itself whenever it cannot be exact.
+    fastforward: Optional[bool] = None
 
     def __post_init__(self):
         if self.op not in OPS:
@@ -142,16 +213,18 @@ def run_lat(config: PerftestConfig, size: int) -> LatencyResult:
     """One latency measurement at one message size."""
     sim, client, server = _build(config)
     func = _LAT_FUNCS[config.op]
+    probe = _make_probe(sim, config, f"lat:{config.op}:{size}")
 
     def main() -> Generator:
         result = yield from func(
             sim, client, server, size,
             iters=config.iters, warmup=config.warmup,
-            techniques=config.techniques,
+            techniques=config.techniques, fastforward=probe,
         )
         return result
 
     result = sim.run(sim.process(main()))
+    _note_run(sim, probe)
     if _telemetry_on():
         _export_telemetry(sim, config, size, "lat", [client.host, server.host])
     return result
@@ -161,16 +234,18 @@ def run_bw(config: PerftestConfig, size: int) -> BwResult:
     """One bandwidth measurement at one message size."""
     sim, client, server = _build(config)
     func = _BW_FUNCS[config.op]
+    probe = _make_probe(sim, config, f"bw:{config.op}:{size}")
 
     def main() -> Generator:
         result = yield from func(
             sim, client, server, size,
             iters=config.iters, window=config.window, warmup=config.warmup,
-            techniques=config.techniques,
+            techniques=config.techniques, fastforward=probe,
         )
         return result
 
     result = sim.run(sim.process(main()))
+    _note_run(sim, probe)
     nic_c, nic_s = client.host.nic.counters, server.host.nic.counters
     result.retransmits = nic_c.retransmits + nic_s.retransmits
     result.ack_timeouts = nic_c.ack_timeouts + nic_s.ack_timeouts

@@ -19,6 +19,7 @@ SimPy-flavoured API (written from scratch; SimPy is not a dependency):
 
 from repro.sim.engine import Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.fastforward import FastForward, FastForwardStats, Skip
 from repro.sim.process import Process
 from repro.sim.resources import PriorityResource, Resource
 from repro.sim.store import FilterStore, Store
@@ -31,6 +32,9 @@ __all__ = [
     "Timeout",
     "AnyOf",
     "AllOf",
+    "FastForward",
+    "FastForwardStats",
+    "Skip",
     "Process",
     "Resource",
     "PriorityResource",

@@ -91,7 +91,8 @@ class Simulator:
 
     __slots__ = (
         "_now", "_queue", "_seq", "_active_process", "_fastpath",
-        "_resume_pool", "_cb_pool", "_sanitize", "rng", "trace", "telemetry",
+        "_resume_pool", "_cb_pool", "_sanitize", "_time_hooks",
+        "_state_providers", "rng", "trace", "telemetry",
     )
 
     def __init__(
@@ -109,6 +110,8 @@ class Simulator:
         self._fastpath: bool = _env_fastpath() if fastpath is None else bool(fastpath)
         self._resume_pool: list[_Resume] = []
         self._cb_pool: list[_Callback] = []
+        self._time_hooks: list[Callable[[float], None]] = []
+        self._state_providers: list[Callable[[], tuple]] = []
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -237,6 +240,72 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total heap records scheduled so far (monotone; ~events simulated)."""
+        return self._seq
+
+    def on_time_shift(self, hook: Callable[[float], None]) -> None:
+        """Register ``hook(shift_ns)`` to run after every bulk clock advance.
+
+        Components that store *absolute* timestamps (the DVFS duty clock,
+        an in-progress busy-poll start) register here so
+        :meth:`advance_clock` keeps their ``now - t`` arithmetic invariant.
+        Relative state (delays, pending-event offsets) needs nothing.
+        """
+        self._time_hooks.append(hook)
+
+    def register_state_provider(self, provider: Callable[[], tuple]) -> None:
+        """Register a component-state fingerprint source for cycle probes.
+
+        ``provider()`` must cheaply return a tuple of plain values that
+        fully determine the component's future *timing* influence (e.g. a
+        turbo core's duty EMA).  :class:`repro.sim.fastforward.FastForward`
+        folds every provider into its steady-state signature, so state the
+        providers expose can never silently break an extrapolation.
+        """
+        self._state_providers.append(provider)
+
+    def component_state(self) -> tuple:
+        """All registered providers' fingerprints, in registration order."""
+        return tuple(p() for p in self._state_providers)
+
+    def advance_clock(self, until: float) -> int:
+        """Jump the clock to ``until``, translating every pending event.
+
+        The bulk-advance primitive behind steady-state fast-forward (see
+        :mod:`repro.sim.fastforward`): the whole pending schedule is shifted
+        by ``until - now`` so every relative offset — and therefore every
+        future inter-event delta — is preserved bit-for-bit when the jump
+        amount and the pending offsets share the clock's current ulp grid.
+
+        Integrity checks: the jump must not go backwards, no pending event
+        may already be in the past, and after the shift the earliest event
+        must not precede the new ``now``.  The shift mutates the heap list
+        *in place* (``run()`` holds a local binding to it) and a uniform
+        shift is order-preserving, so the heap invariant survives.  Returns
+        the number of pending records translated.
+        """
+        shift = until - self._now
+        if shift < 0:
+            raise SimulationError(
+                f"advance_clock({until}) is in the past (now={self._now})"
+            )
+        queue = self._queue
+        if queue and queue[0][0] < self._now:  # pragma: no cover - invariant
+            raise SimulationError("pending event predates the clock")
+        if shift > 0.0:
+            if queue:
+                queue[:] = [(t + shift, p, s, e) for (t, p, s, e) in queue]
+                if queue[0][0] < until:  # pragma: no cover - invariant
+                    raise SimulationError(
+                        "advance_clock shifted an event into the past"
+                    )
+            self._now = until
+            for hook in self._time_hooks:
+                hook(shift)
+        return len(queue)
 
     def step(self) -> None:
         """Process exactly one event (or fast-path record)."""

@@ -9,6 +9,7 @@ results — of existing components, which keeps calibrated benchmarks stable.
 from __future__ import annotations
 
 import hashlib
+import math
 
 import numpy as np
 
@@ -16,11 +17,12 @@ import numpy as np
 class RngRegistry:
     """Registry of independent ``numpy.random.Generator`` streams."""
 
-    __slots__ = ("master_seed", "_streams", "_sanitize")
+    __slots__ = ("master_seed", "_streams", "_jitter", "_sanitize")
 
     def __init__(self, master_seed: int = 0):
         self.master_seed = int(master_seed)
         self._streams: dict[str, np.random.Generator] = {}
+        self._jitter: dict[str, JitterStream] = {}
         #: Set by the owning Simulator when REPRO_SANITIZE is on; streams
         #: are then wrapped in draw-recording proxies (values unchanged).
         self._sanitize = None
@@ -40,15 +42,61 @@ class RngRegistry:
             self._streams[name] = gen
         return gen
 
+    def jitter_stream(self, name: str) -> "JitterStream":
+        """A batched lognormal-jitter source over the named stream.
+
+        The stream must be consumed *exclusively* through the returned
+        source: it prefetches standard normals in blocks (the per-draw
+        numpy scalar call is the costliest step of every jittered syscall),
+        so a direct draw on the same generator would interleave with the
+        prefetched block and change the sequence.
+        """
+        js = self._jitter.get(name)
+        if js is None:
+            js = self._jitter[name] = JitterStream(self.stream(name))
+        return js
+
     def reset(self) -> None:
         """Drop all streams; they re-derive from the master seed on next use."""
         self._streams.clear()
+        self._jitter.clear()
+
+    def stream_states(self) -> tuple:
+        """Bit-exact positions of every named stream, without drawing.
+
+        Reading ``bit_generator.state`` is a pure observation (the sanitize
+        proxies forward non-callable attributes untouched), so this is safe
+        to call from invariant checks — the steady-state fast-forward probe
+        uses it to prove no stream advanced inside a measurement loop.
+        """
+        out = []
+        jitter = self._jitter
+        for name in sorted(self._streams):
+            state = self._streams[name].bit_generator.state
+            inner = state.get("state")
+            if isinstance(inner, dict):
+                inner = tuple(sorted(inner.items()))
+            js = jitter.get(name)
+            # A jitter source prefetches normals in blocks: its generator
+            # state only moves at refills, so the remaining buffer depth
+            # must join the fingerprint — together they change on every
+            # draw, exactly like an unbuffered stream's state would.
+            out.append((name, state.get("bit_generator"), inner,
+                        state.get("has_uint32"), state.get("uinteger"),
+                        len(js._buf) if js is not None else -1))
+        return tuple(out)
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RngRegistry seed={self.master_seed} streams={sorted(self._streams)}>"
+
+
+#: Cache of (mean, cv) -> (mu, sigma) for :func:`lognormal_jitter`.  The
+#: derived parameters are pure functions of the inputs, so caching cannot
+#: change any drawn value; it only skips the per-call numpy scalar math.
+_JITTER_PARAMS: dict = {}
 
 
 def lognormal_jitter(
@@ -67,6 +115,53 @@ def lognormal_jitter(
         raise ValueError(f"cv must be non-negative, got {cv}")
     if mean == 0 or cv == 0:
         return mean
-    sigma2 = np.log(1.0 + cv * cv)
-    mu = np.log(mean) - sigma2 / 2.0
-    return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
+    params = _JITTER_PARAMS.get((mean, cv))
+    if params is None:
+        # Derived once per (mean, cv) — the numpy scalar ops here cost
+        # microseconds, and jitter draws sit on the per-op syscall path.
+        sigma2 = np.log(1.0 + cv * cv)
+        mu = np.log(mean) - sigma2 / 2.0
+        if len(_JITTER_PARAMS) >= 4096:
+            _JITTER_PARAMS.clear()
+        params = _JITTER_PARAMS[(mean, cv)] = (float(mu), float(np.sqrt(sigma2)))
+    return float(rng.lognormal(mean=params[0], sigma=params[1]))
+
+
+#: Prefetch block for :class:`JitterStream` (draws, not bytes).
+_JITTER_BLOCK = 256
+
+
+class JitterStream:
+    """Batched lognormal jitter over one dedicated rng stream.
+
+    Bit-identical to per-call :func:`lognormal_jitter` on the same stream:
+    ``Generator.lognormal(mu, sigma)`` consumes the bit stream exactly as
+    ``standard_normal()`` does and then computes ``exp(mu + sigma * z)`` in
+    C doubles — the same IEEE operations this class applies in Python to a
+    prefetched block of standard normals.  Only the per-draw numpy scalar
+    call overhead is amortized; every drawn value and the stream's position
+    after each block are unchanged.
+    """
+
+    __slots__ = ("_gen", "_buf")
+
+    def __init__(self, gen: np.random.Generator):
+        self._gen = gen
+        self._buf: list[float] = []
+
+    def draw(self, mean: float, cv: float) -> float:
+        """Lognormal with the given mean and coefficient of variation."""
+        if mean == 0 or cv == 0:
+            return mean
+        params = _JITTER_PARAMS.get((mean, cv))
+        if params is None:
+            sigma2 = np.log(1.0 + cv * cv)
+            mu = np.log(mean) - sigma2 / 2.0
+            if len(_JITTER_PARAMS) >= 4096:
+                _JITTER_PARAMS.clear()
+            params = _JITTER_PARAMS[(mean, cv)] = (float(mu), float(np.sqrt(sigma2)))
+        buf = self._buf
+        if not buf:
+            # Reversed so list.pop() hands the normals out in draw order.
+            buf.extend(self._gen.standard_normal(_JITTER_BLOCK)[::-1].tolist())
+        return math.exp(params[0] + params[1] * buf.pop())

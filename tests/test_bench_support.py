@@ -70,3 +70,158 @@ def test_bench_workers_rejects_garbage(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
     with pytest.raises(ConfigError, match="must be an integer"):
         bs.bench_workers()
+
+
+def test_bench_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+    assert bs.bench_workers() == 3
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")  # clamped to >= 1
+    assert bs.bench_workers() == 1
+    monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+    assert bs.bench_workers() >= 1
+
+
+# Sweep points must be module-level functions (pickled by reference into
+# fork workers).
+
+def _env_probe_point(tag):
+    import gc
+    import os
+
+    return (tag, os.environ.get("REPRO_TEST_SWEEP_FLAG"), gc.get_threshold()[0])
+
+
+def _lat_point(seed):
+    from repro.perftest.runner import PerftestConfig, run_lat
+
+    cfg = PerftestConfig(system="L", op="send", client="bypass",
+                         server="bypass", iters=30, warmup=5, seed=seed)
+    r = run_lat(cfg, 64)
+    return (r.avg_us, r.p50_ns, r.p99_ns, len(r.samples))
+
+
+def test_parallel_sweep_worker_env_and_init_propagation(monkeypatch):
+    """fork workers inherit the parent's environment, and _worker_init's
+    gc retuning is applied in every worker (but not in the parent)."""
+    monkeypatch.setenv("REPRO_TEST_SWEEP_FLAG", "inherited")
+    out = bs.parallel_sweep(_env_probe_point, ["a", "b", "c"], workers=2)
+    assert [tag for tag, _env, _gc in out] == ["a", "b", "c"]
+    assert all(env == "inherited" for _tag, env, _gc in out)
+    assert all(gen0 == 200_000 for _tag, _env, gen0 in out)
+    import gc
+
+    assert gc.get_threshold()[0] != 200_000
+
+
+def test_parallel_sweep_bit_identical_across_worker_counts():
+    """Order and values are bit-identical for serial, 2 and 4 workers."""
+    seeds = [7, 11, 13, 17, 19]
+    serial = bs.parallel_sweep(_lat_point, seeds, workers=1)
+    for workers in (2, 4):
+        assert bs.parallel_sweep(_lat_point, seeds, workers=workers) == serial
+
+
+def test_parallel_sweep_merges_worker_run_stats():
+    """Per-point run stats cross the process boundary and land in the
+    parent's RUN_STATS, identically to a serial run."""
+    from repro.perftest.runner import reset_run_stats, run_stats_snapshot
+
+    seeds = [7, 11, 13]
+    reset_run_stats()
+    bs.parallel_sweep(_lat_point, seeds, workers=1)
+    serial = run_stats_snapshot()
+    reset_run_stats()
+    bs.parallel_sweep(_lat_point, seeds, workers=2)
+    fanned = run_stats_snapshot()
+    assert serial["measurements"] == len(seeds)
+    assert fanned == serial
+
+
+def test_figure_bench_records_json(monkeypatch, tmp_path):
+    path = tmp_path / "bench.json"
+    monkeypatch.setenv("REPRO_BENCH_JSON", str(path))
+    monkeypatch.delenv("REPRO_FASTFORWARD", raising=False)
+    with bs.figure_bench("figX"):
+        bs.parallel_sweep(_lat_point, [7, 11], workers=1)
+    monkeypatch.setenv("REPRO_FASTFORWARD", "1")
+    with bs.figure_bench("figX"):
+        bs.parallel_sweep(_lat_point, [7, 11], workers=1)
+    import json
+
+    data = json.loads(path.read_text())
+    modes = data["benchmarks"]["figX"]
+    assert modes["base"]["measurements"] == 2
+    assert modes["ff"]["measurements"] == 2
+    assert modes["base"]["fastforward"] is False
+    assert modes["ff"]["fastforward"] is True
+    assert modes["ff"]["ff_jumps"] > 0
+    assert data["summary"]["paired_benchmarks"] == ["figX"]
+    assert data["summary"]["speedup"] > 0
+
+
+# -- tools/check_bench_budget.py (the CI gate over the recorded JSON) --------
+
+def _budget_tool():
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "tools" / "check_bench_budget.py"
+    spec = importlib.util.spec_from_file_location("check_bench_budget", path)
+    mod = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _write_record(tmp_path, benchmarks):
+    import json
+
+    data = {"benchmarks": benchmarks, "summary": bs._summarize(benchmarks)}
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+def _entry(wall_s, ff, scale=1.0, workers=1):
+    return {"wall_s": wall_s, "scale": scale, "workers": workers,
+            "fastforward": ff}
+
+
+def test_budget_subset_spec_parsing():
+    tool = _budget_tool()
+    assert tool.parse_subset_spec("fig1+fig3:4.0") == (["fig1", "fig3"], 4.0)
+    with pytest.raises(ValueError):
+        tool.parse_subset_spec("fig1+fig3")  # no floor
+    with pytest.raises(ValueError):
+        tool.parse_subset_spec(":2.0")  # no names
+
+
+def test_budget_subset_gate(tmp_path):
+    tool = _budget_tool()
+    path = _write_record(tmp_path, {
+        "fig1": {"base": _entry(40.0, False), "ff": _entry(4.0, True)},
+        "fig5": {"base": _entry(20.0, False), "ff": _entry(19.0, True)},
+    })
+    # Aggregate is capped by fig5 (60/23 ~ 2.6x) but the skippable subset
+    # holds 10x; the split gate passes where a flat 4x aggregate would not.
+    assert tool.check(path, 2.3, None, [], [(["fig1"], 4.0)]) == []
+    problems = tool.check(path, 4.0, None, [], [])
+    assert any("suite speedup" in p for p in problems)
+    problems = tool.check(path, 1.0, None, [], [(["fig1", "fig5"], 4.0)])
+    assert any("subset fig1+fig5 speedup" in p for p in problems)
+    # A subset naming an unpaired figure is a hard failure, not a skip.
+    problems = tool.check(path, 1.0, None, [], [(["fig9"], 1.0)])
+    assert any("lacks paired figures" in p for p in problems)
+
+
+def test_budget_flags_mismatched_scale_pair(tmp_path):
+    tool = _budget_tool()
+    path = _write_record(tmp_path, {
+        "fig1": {"base": _entry(40.0, False), "ff": _entry(4.0, True)},
+        "fig3": {"base": _entry(10.0, False),
+                 "ff": _entry(0.5, True, scale=0.05)},
+    })
+    problems = tool.check(path, 1.0, None, ["fig1", "fig3"], [])
+    assert any("mismatched" in p and "fig3" in p for p in problems)
+    # The mismatched pair stays out of the aggregate speedup.
+    assert not any("fig1" in p for p in problems)

@@ -77,6 +77,21 @@ def test_fastpath_bit_identical(dataplane, monkeypatch):
            {k: repr(v) for k, v in slow.items()}
 
 
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_fastforward_bit_identical(dataplane, monkeypatch):
+    """Steady-state fast-forward must be invisible in the golden values:
+    the armed run skips cycles yet reproduces the exact bits (property 1
+    applied to the extrapolation layer; the full matrix lives in
+    tests/test_fastforward.py)."""
+    base = _measure(dataplane)
+    monkeypatch.setenv("REPRO_FASTFORWARD", "1")
+    ff = _measure(dataplane)
+    assert {k: repr(v) for k, v in base.items()} == \
+           {k: repr(v) for k, v in ff.items()}
+    for key, want in GOLDEN[dataplane].items():
+        assert repr(ff[key]) == repr(want)
+
+
 def test_fastpath_bit_identical_jittered(monkeypatch):
     """System A adds lognormal syscall jitter and DVFS exp() decay — the
     hardest case for event-ordering equivalence between the two paths."""

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI gate: the figure-suite wall-clock record must hold its budget.
+
+Reads a ``BENCH_figures.json`` written by ``repro.bench_support.figure_bench``
+(each figure keyed by ``base`` / ``ff`` mode, plus a cross-figure summary)
+and fails unless:
+
+- the recorded base-vs-fast-forward ``speedup`` is at least
+  ``--min-speedup`` (when the file holds at least one paired figure);
+- every ``--subset-min-speedup NAME+NAME:X`` subset of figures reaches
+  its own aggregate speedup ``X`` (so the fully skippable figures can be
+  gated harder than a suite aggregate capped by runs that provably must
+  not skip, like fig5's jittered system-A core);
+- the paired fast-forward wall-clock total stays under ``--max-ff-wall``
+  seconds, when given;
+- every figure named via ``--require-paired`` has both a base and a
+  fast-forward measurement recorded.
+
+Two intended call sites: against the *committed* record (full-scale
+numbers; guards the headline suite speedup across PRs) and against a
+fresh CI-produced pair (smaller scale; guards against wall-clock
+regressions on the runner itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_subset_spec(spec: str) -> tuple[list[str], float]:
+    """Parse ``fig1+fig3+fig4:4.0`` into (names, min speedup)."""
+    names_part, sep, floor_part = spec.rpartition(":")
+    if not sep or not names_part:
+        raise ValueError(
+            f"subset spec {spec!r} must look like NAME+NAME:MIN_SPEEDUP")
+    names = [n for n in names_part.split("+") if n]
+    if not names:
+        raise ValueError(f"subset spec {spec!r} names no figures")
+    return names, float(floor_part)
+
+
+def check(path: Path, min_speedup: float, max_ff_wall: float | None,
+          require_paired: list[str],
+          subset_specs: list[tuple[list[str], float]] = ()) -> list[str]:
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except ValueError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+
+    problems = []
+    benchmarks = data.get("benchmarks", {})
+    summary = data.get("summary", {})
+    paired = summary.get("paired_benchmarks", [])
+    mismatched = summary.get("mismatched_benchmarks", [])
+
+    for name in require_paired:
+        if name in mismatched:
+            modes = benchmarks.get(name, {})
+            detail = {m: (e.get("scale"), e.get("workers"))
+                      for m, e in sorted(modes.items())}
+            problems.append(
+                f"figure {name!r} has a base/ff pair at mismatched "
+                f"scale/workers: {detail}")
+        elif name not in paired:
+            modes = sorted(benchmarks.get(name, {}))
+            problems.append(
+                f"figure {name!r} lacks a base/ff pair (recorded: {modes})")
+
+    if not paired:
+        problems.append("no figure has both a base and a fast-forward run")
+        return problems
+
+    speedup = summary.get("speedup")
+    base_s = summary.get("base_wall_s")
+    ff_s = summary.get("ff_wall_s")
+    print(f"{path}: {len(paired)} paired figure(s), "
+          f"base={base_s}s ff={ff_s}s speedup={speedup}x")
+    for name in paired:
+        modes = benchmarks[name]
+        print(f"  {name}: base={modes['base']['wall_s']}s "
+              f"ff={modes['ff']['wall_s']}s "
+              f"units_skipped={modes['ff'].get('ff_units_skipped', 0)}")
+
+    if speedup is None or speedup < min_speedup:
+        problems.append(
+            f"suite speedup {speedup} is below the required {min_speedup}x")
+    if max_ff_wall is not None and (ff_s is None or ff_s > max_ff_wall):
+        problems.append(
+            f"fast-forward suite wall {ff_s}s exceeds budget {max_ff_wall}s")
+    for names, floor in subset_specs:
+        missing = [n for n in names if n not in paired]
+        if missing:
+            problems.append(
+                f"subset {'+'.join(names)} lacks paired figures: {missing}")
+            continue
+        sub_base = sum(benchmarks[n]["base"]["wall_s"] for n in names)
+        sub_ff = sum(benchmarks[n]["ff"]["wall_s"] for n in names)
+        sub_speedup = round(sub_base / sub_ff, 3) if sub_ff > 0 else None
+        print(f"  subset {'+'.join(names)}: base={round(sub_base, 3)}s "
+              f"ff={round(sub_ff, 3)}s speedup={sub_speedup}x")
+        if sub_speedup is None or sub_speedup < floor:
+            problems.append(
+                f"subset {'+'.join(names)} speedup {sub_speedup} is below "
+                f"the required {floor}x")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", type=Path,
+                        help="BENCH_figures.json to validate")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum recorded base/ff speedup (default 1.0)")
+    parser.add_argument("--max-ff-wall", type=float, default=None,
+                        help="maximum paired fast-forward wall seconds")
+    parser.add_argument("--require-paired", action="append", default=[],
+                        metavar="FIG",
+                        help="figure name that must have base+ff recorded "
+                             "(repeatable)")
+    parser.add_argument("--subset-min-speedup", action="append", default=[],
+                        metavar="FIG+FIG:X",
+                        help="aggregate speedup floor for a subset of "
+                             "figures, e.g. fig1+fig3+fig4:4.0 (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        subset_specs = [parse_subset_spec(s) for s in args.subset_min_speedup]
+    except ValueError as exc:
+        parser.error(str(exc))
+    problems = check(args.json_path, args.min_speedup, args.max_ff_wall,
+                     args.require_paired, subset_specs)
+    for p in problems:
+        print(f"BUDGET FAIL: {p}", file=sys.stderr)
+    if not problems:
+        print("bench budget: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
