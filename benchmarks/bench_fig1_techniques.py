@@ -22,7 +22,14 @@ Iteration counts match the perftest defaults the paper ran (5000 bw /
 import pytest
 
 from repro.analysis import Series, SweepTable, check_between, format_table
-from repro.bench_support import emit, figure_bench, parallel_sweep, report_checks, scaled
+from repro.bench_support import (
+    emit,
+    figure_bench,
+    parallel_sweep,
+    record_attribution_probes,
+    report_checks,
+    scaled,
+)
 from repro.perftest.runner import PerftestConfig, run_bw, run_lat
 from repro.perftest.techniques import FIG1_VARIANTS
 from repro.units import MiB, pretty_size
@@ -135,6 +142,9 @@ def main():
     with figure_bench("fig1"):
         _report_fig1a(_lat_sweep())
         _report_fig1b(_bw_sweep())
+    # Pinned-iteration stage attribution for the four technique variants
+    # (exact per-stage blame baselines; gated by tools/check_attribution.py).
+    record_attribution_probes("fig1")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,14 @@ iterations); steady-state fast-forward keeps them affordable.
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, figure_bench, parallel_sweep, report_checks, scaled
+from repro.bench_support import (
+    emit,
+    figure_bench,
+    parallel_sweep,
+    record_attribution_probes,
+    report_checks,
+    scaled,
+)
 from repro.perftest.runner import PerftestConfig, run_lat
 
 SIZE = 4096
@@ -105,6 +112,8 @@ def test_fig3_latency_overhead(benchmark):
 def main():
     with figure_bench("fig3"):
         _report(*_sweep())
+    # Pinned-iteration stage attribution (BP vs CoRD blame baselines).
+    record_attribution_probes("fig3")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,14 @@ iterations); steady-state fast-forward keeps them affordable.
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, figure_bench, parallel_sweep, report_checks, scaled
+from repro.bench_support import (
+    emit,
+    figure_bench,
+    parallel_sweep,
+    record_attribution_probes,
+    report_checks,
+    scaled,
+)
 from repro.perftest.runner import PerftestConfig, run_bw
 from repro.units import pretty_size
 
@@ -97,6 +104,8 @@ def test_fig4_relative_throughput(benchmark):
 def main():
     with figure_bench("fig4"):
         _report(*_sweep())
+    # Pinned-iteration stage attribution of the windowed bw transmitter.
+    record_attribution_probes("fig4")
 
 
 if __name__ == "__main__":

@@ -26,7 +26,14 @@ import numpy as np
 import pytest
 
 from repro.analysis import SweepTable, check_between, format_table
-from repro.bench_support import emit, figure_bench, parallel_sweep, report_checks, scaled
+from repro.bench_support import (
+    emit,
+    figure_bench,
+    parallel_sweep,
+    record_attribution_probes,
+    report_checks,
+    scaled,
+)
 from repro.perftest.runner import PerftestConfig, run_bw, run_lat
 from repro.units import pretty_size
 
@@ -131,6 +138,9 @@ def main():
     with figure_bench("fig5"):
         _report_fig5a(_lat_sweep())
         _report_fig5b(_bw_sweep())
+    # Pinned-iteration stage attribution; system A draws lognormal syscall
+    # jitter through libm, so these entries gate with a tolerance band.
+    record_attribution_probes("fig5")
 
 
 if __name__ == "__main__":

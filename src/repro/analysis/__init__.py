@@ -3,6 +3,12 @@
 from repro.analysis.series import Series, SweepTable
 from repro.analysis.tables import format_table, print_table
 from repro.analysis.compare import CheckResult, check_ratio, check_between
+from repro.analysis.critpath import (
+    PathSegment,
+    critical_path,
+    format_path,
+    stage_totals,
+)
 from repro.analysis.timeline import format_timeline, message_timeline, stage_latencies
 
 __all__ = [
@@ -16,4 +22,8 @@ __all__ = [
     "message_timeline",
     "format_timeline",
     "stage_latencies",
+    "PathSegment",
+    "critical_path",
+    "format_path",
+    "stage_totals",
 ]

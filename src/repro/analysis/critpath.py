@@ -1,0 +1,149 @@
+"""Critical path through coupled operations.
+
+A windowed transmitter (``send_bw``) keeps many WRs in flight; the end of
+the run is gated by a *chain* of stages hopping between ops: the last op's
+completion waits on its CQE, whose arrival waited on the rx engine, which
+was busy with the previous message, whose wire slot waited behind the one
+before it, …  Attribution (:mod:`repro.telemetry.attribution`) records,
+for every queued stage, *which* stage of *which* op it waited behind —
+this module chases those blocker links backwards from the latest-ending
+op and emits the time-contiguous chain of activity that actually bounded
+the run.
+
+The walk is exact, not heuristic: a queued stage's service begins at the
+instant its blocker's service ends (serial FIFO servers), so jumping to
+the blocker keeps the path gapless.  Summing path segments therefore
+reproduces the measured makespan, and ``stage_totals`` answers "what
+would speeding up stage X buy?" the way a real critical-path profile
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.analysis.tables import format_table
+from repro.telemetry.attribution import OpBlame
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One time-contiguous slice of the critical path."""
+
+    span_id: int
+    op: str
+    host: object
+    comp: str
+    stage: str
+    start_ns: float
+    end_ns: float
+    #: "service" (the component worked), "wait" (CQE written, app had not
+    #: polled yet), "queue" (queued with no resolvable blocker — kept only
+    #: so the path stays gapless).
+    kind: str
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def critical_path(blames: Iterable[OpBlame]) -> list[PathSegment]:
+    """Walk blocker links backwards from the latest-ending op.
+
+    Returns segments in forward time order; consecutive segments abut
+    exactly (``segments[i].end_ns == segments[i+1].start_ns``).  The path
+    starts at some op's ``post`` and ends at the latest completion.
+    """
+    blames = [b for b in blames if b.stages]
+    if not blames:
+        return []
+    by_id = {b.span_id: b for b in blames}
+    cur = max(blames, key=lambda b: (b.end_ns, b.span_id))
+    segments: list[PathSegment] = []
+    visited: set[tuple[int, str]] = set()
+    idx = len(cur.stages) - 1
+    while idx >= 0:
+        stage = cur.stages[idx]
+        key = (cur.span_id, stage.name)
+        if key in visited:  # blocker cycle would mean corrupt data; stop
+            break
+        visited.add(key)
+        if stage.kind == "wait":
+            # All queue, no blocker op: the path sat in the CQ until the
+            # application polled.  Traverse in-span.
+            segments.append(PathSegment(
+                cur.span_id, cur.op, stage.host, stage.comp, stage.name,
+                stage.start_ns, stage.end_ns, "wait"))
+            idx -= 1
+            continue
+        if stage.service_ns > 0:
+            segments.append(PathSegment(
+                cur.span_id, cur.op, stage.host, stage.comp, stage.name,
+                stage.service_start_ns, stage.end_ns, "service"))
+        if stage.queue_ns > 0:
+            blocker = stage.blocker
+            target = _find(by_id, blocker) if blocker else None
+            if target is not None:
+                # The blocker's service ended exactly where ours began —
+                # the path continues inside the blocking op.
+                cur, idx = target
+                continue
+            # No resolvable blocker (e.g. it was ring-evicted): keep the
+            # path gapless with an explicit queue segment.
+            segments.append(PathSegment(
+                cur.span_id, cur.op, stage.host, stage.comp, stage.name,
+                stage.start_ns, stage.service_start_ns, "queue"))
+        idx -= 1
+    segments.reverse()
+    return segments
+
+
+def _find(
+    by_id: dict[int, OpBlame], blocker: tuple[int, str]
+) -> Optional[tuple[OpBlame, int]]:
+    span_id, stage_name = blocker
+    blame = by_id.get(span_id)
+    if blame is None:
+        return None
+    for i, stage in enumerate(blame.stages):
+        if stage.name == stage_name:
+            return blame, i
+    return None
+
+
+def stage_totals(segments: Iterable[PathSegment]) -> dict[str, float]:
+    """Path nanoseconds per ``stage/kind`` — the shortening-payoff table."""
+    totals: dict[str, float] = {}
+    for seg in segments:
+        key = f"{seg.stage}/{seg.kind}"
+        totals[key] = totals.get(key, 0.0) + seg.duration_ns
+    return totals
+
+
+def format_path(segments: list[PathSegment], limit: int = 40) -> str:
+    """Human rendering: the totals table plus the head of the chain."""
+    if not segments:
+        return "critical path: (no complete spans)"
+    span = segments[-1].end_ns - segments[0].start_ns
+    totals = stage_totals(segments)
+    rows = [
+        [name, f"{ns:.1f}", f"{ns / span * 100:.1f}"]
+        for name, ns in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    out = [format_table(
+        ["stage/kind", "path ns", "share %"], rows,
+        title=f"critical path: {span:.1f} ns over {len(segments)} segments, "
+              f"{len({s.span_id for s in segments})} ops",
+    )]
+    shown = segments if len(segments) <= limit else segments[:limit]
+    lines = [
+        f"  {seg.start_ns:12.1f} .. {seg.end_ns:12.1f}  "
+        f"span {seg.span_id:>4d}  host{seg.host}/{seg.comp:<7s} "
+        f"{seg.stage:<12s} {seg.kind:<7s} {seg.duration_ns:10.1f} ns"
+        for seg in shown
+    ]
+    if len(segments) > limit:
+        lines.append(f"  ... {len(segments) - limit} more segments")
+    out.append("\n".join(lines))
+    return "\n\n".join(out)

@@ -272,6 +272,43 @@ def parallel_sweep(
     return [result for result, _snap in out]
 
 
+ATTRIBUTION_JSON_ENV = "REPRO_ATTRIBUTION_JSON"
+
+
+def attribution_json_path() -> Path:
+    """Where :func:`record_attribution_probes` writes its baselines."""
+    raw = os.environ.get(ATTRIBUTION_JSON_ENV, "").strip()
+    return Path(raw) if raw else results_dir() / "BENCH_attribution.json"
+
+
+def record_attribution_probes(figure: str) -> Path:
+    """Run one figure's pinned attribution probes and merge the per-stage
+    blame baselines into ``BENCH_attribution.json``.
+
+    Probe iteration counts are pinned in
+    :data:`repro.telemetry.attribution.ATTRIBUTION_PROBES` — deliberately
+    *not* scaled by ``REPRO_BENCH_SCALE`` — so the recorded stage totals
+    are identical at any scale and ``tools/check_attribution.py`` can
+    recompute them exactly in CI.
+    """
+    from repro.telemetry.attribution import run_figure_probes
+
+    entries = run_figure_probes(figure)
+    path = attribution_json_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data.setdefault("probes", {}).update(entries)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] recorded {len(entries)} attribution probe(s) for "
+          f"{figure!r} -> {path}")
+    return path
+
+
 def emit(name: str, text: str) -> None:
     """Print a result block and persist it under results/."""
     print()

@@ -121,6 +121,102 @@ def cmd_npb(args) -> int:
     return 0
 
 
+def _warn_dropped(trace) -> None:
+    """Loud stderr warning when the trace ring evicted records: spans are
+    then partially missing and any attribution over them is suspect."""
+    if trace.dropped:
+        print(
+            f"WARNING: trace ring buffer dropped {trace.dropped} records "
+            f"(max_records={trace.max_records}) — spans are truncated and "
+            "stage attribution over this trace would be incomplete; "
+            "raise the cap or trace fewer iterations",
+            file=sys.stderr,
+        )
+
+
+def cmd_attribute(args) -> int:
+    """Blame-tree attribution of one measurement: queueing vs service per
+    stage, per-op residual accounting, optional critical path + flamegraph."""
+    import json
+
+    from repro.analysis.critpath import critical_path, format_path
+    from repro.perftest.runner import run_attributed
+    from repro.telemetry import attribute_spans, aggregate, build_spans, folded_stacks
+
+    if args.sweep:
+        print("attribute runs a single size; drop --sweep", file=sys.stderr)
+        return 2
+    kind = args.kind
+    cfg = _config(args, default_iters=80 if kind == "lat" else 150)
+    cfg = cfg.with_(warmup=args.warmup if args.warmup is not None
+                    else (12 if kind == "lat" else 30),
+                    window=args.window)
+    _result, sim, _pair = run_attributed(cfg, args.size, kind)
+    _warn_dropped(sim.trace)
+
+    spans = build_spans(sim.trace, op="post_send")
+    incomplete = sum(1 for s in spans if not s.complete)
+    blames = attribute_spans(spans)
+    if not blames:
+        print("no complete spans recorded — nothing to attribute",
+              file=sys.stderr)
+        return 1
+    tables = aggregate(blames, incomplete=incomplete)
+
+    out_lines = []
+    for table in tables:
+        header, rows = table.rows()
+        out_lines.append(format_table(
+            header, rows,
+            title=f"{cfg.label} {kind} attribution, {pretty_size(table.size)} "
+                  f"on system {cfg.system} ({cfg.techniques.label}): "
+                  f"{table.ops} ops",
+        ))
+        mean_total = table.total_latency_ns / table.ops if table.ops else 0.0
+        out_lines.append(
+            f"mean op latency {mean_total:.1f} ns; residual "
+            f"{table.residual_ns:.1f} ns total; every op ≥ "
+            f"{table.explained_min * 100:.1f}% explained by named stages"
+            + (f"; {incomplete} incomplete spans excluded" if incomplete else "")
+        )
+    if args.tree is not None:
+        idx = max(0, min(args.tree, len(blames) - 1))
+        out_lines.append("\n".join(blames[idx].tree_lines()))
+    if args.critical_path:
+        out_lines.append(format_path(critical_path(blames)))
+    _emit_text("\n\n".join(out_lines), args.output)
+
+    if args.json:
+        doc = {
+            "config": {
+                "system": cfg.system, "transport": cfg.transport,
+                "op": cfg.op, "client": cfg.client, "server": cfg.server,
+                "size": args.size, "kind": kind, "iters": cfg.iters,
+                "warmup": cfg.warmup, "window": cfg.window,
+                "seed": cfg.seed, "techniques": cfg.techniques.label,
+            },
+            "dropped": sim.trace.dropped,
+            "incomplete_spans": incomplete,
+            "tables": [t.snapshot() for t in tables],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.flamegraph:
+        lines = folded_stacks(blames=blames)
+        with open(args.flamegraph, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"wrote {args.flamegraph} ({len(lines)} stacks)",
+              file=sys.stderr)
+
+    worst = min(t.explained_min for t in tables)
+    if worst < 0.95:
+        print(f"FAIL: only {worst * 100:.1f}% of some op's latency is "
+              "explained by named stages (< 95%)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _emit_text(text: str, output: Optional[str]) -> None:
     if output:
         with open(output, "w") as fh:
@@ -167,15 +263,19 @@ def cmd_trace(args) -> int:
     import json
 
     from repro.analysis import format_timeline, message_timeline
-    from repro.telemetry import chrome_trace, jsonl_lines
+    from repro.telemetry import chrome_trace, folded_stacks, jsonl_lines
 
     sim, _host_a, _host_b = _run_traced_pair(args, iters=args.iters)
+    _warn_dropped(sim.trace)
 
     if args.format == "chrome":
         _emit_text(json.dumps(chrome_trace(sim.trace)), args.output)
         return 0
     if args.format == "jsonl":
         _emit_text("\n".join(jsonl_lines(sim.trace)), args.output)
+        return 0
+    if args.format == "folded":
+        _emit_text("\n".join(folded_stacks(sim.trace)), args.output)
         return 0
     header = (f"life of one {args.size} B RC send, "
               f"{args.client}->{args.server}, system {args.system}:\n")
@@ -255,6 +355,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_bw)
     p_bw.set_defaults(func=cmd_bw)
 
+    p_attr = sub.add_parser(
+        "attribute",
+        help="blame-tree latency attribution of one measurement",
+        description="Run one perftest measurement with full tracing and "
+                    "attribute every op's end-to-end latency to named "
+                    "stages, split into queueing (waiting behind other "
+                    "WQEs/CQEs/the app's poll loop) vs service time.  "
+                    "Exits 1 if any op is less than 95% explained.",
+    )
+    _add_common(p_attr)
+    p_attr.add_argument("--kind", choices=["lat", "bw"], default="lat",
+                        help="latency ping-pong or windowed bandwidth run")
+    p_attr.add_argument("--warmup", type=int, default=None,
+                        help="warmup iterations (default 12 lat / 30 bw)")
+    p_attr.add_argument("--window", type=int, default=32,
+                        help="in-flight window for --kind bw")
+    p_attr.add_argument("--tree", type=int, default=None, metavar="N",
+                        help="also print the N-th op's full blame tree")
+    p_attr.add_argument("--critical-path", action="store_true",
+                        help="also print the critical path through coupled "
+                             "ops (blocker chain from the last completion)")
+    p_attr.add_argument("--json", default=None, metavar="FILE",
+                        help="write machine-readable attribution JSON here")
+    p_attr.add_argument("--flamegraph", default=None, metavar="FILE",
+                        help="write folded stacks (flamegraph.pl/speedscope "
+                             "compatible, simulated-ns weights) here")
+    p_attr.add_argument("--output", default=None,
+                        help="write the human tables to this file")
+    p_attr.set_defaults(func=cmd_attribute)
+
     p_npb = sub.add_parser("npb", help="NPB suite over chosen transports")
     p_npb.add_argument("--bench", nargs="+", choices=DEFAULT_SUITE,
                        default=["IS", "EP", "CG"])
@@ -276,10 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=7)
     p_trace.add_argument("--iters", type=int, default=1,
                          help="number of traced sends")
-    p_trace.add_argument("--format", choices=["timeline", "chrome", "jsonl"],
+    p_trace.add_argument("--format",
+                         choices=["timeline", "chrome", "jsonl", "folded"],
                          default="timeline",
                          help="timeline: human-readable; chrome: Perfetto-"
-                              "loadable trace-event JSON; jsonl: raw records")
+                              "loadable trace-event JSON; jsonl: raw records; "
+                              "folded: FlameGraph/speedscope folded stacks "
+                              "weighted by simulated ns")
     p_trace.add_argument("--output", default=None,
                          help="write to this file instead of stdout")
     p_trace.set_defaults(func=cmd_trace)

@@ -170,8 +170,12 @@ def _build(
     config: PerftestConfig,
     policies_client: Optional[PolicyChain] = None,
     policies_server: Optional[PolicyChain] = None,
+    trace=None,
 ) -> tuple[Simulator, Endpoint, Endpoint]:
-    if _telemetry_on():
+    if trace is not None:
+        sim = Simulator(seed=config.seed, trace=trace)
+        sim.telemetry.enabled = True
+    elif _telemetry_on():
         from repro.sim.trace import Trace
 
         sim = Simulator(seed=config.seed,
@@ -252,6 +256,42 @@ def run_bw(config: PerftestConfig, size: int) -> BwResult:
     if _telemetry_on():
         _export_telemetry(sim, config, size, "bw", [client.host, server.host])
     return result
+
+
+def run_attributed(
+    config: PerftestConfig, size: int, kind: str = "lat"
+) -> tuple[object, Simulator, tuple[Endpoint, Endpoint]]:
+    """One measurement run with a full (unbounded) trace kept for
+    attribution.
+
+    Unlike :func:`run_lat`/:func:`run_bw` this always traces — regardless
+    of ``REPRO_TELEMETRY`` — with no ring cap, so
+    :func:`repro.telemetry.attribution.attribute_spans` sees every span
+    mark (a truncated ring would silently skew the blame tables; the
+    callers check ``sim.trace.dropped == 0``).  Connection-setup records
+    are cleared before the measurement starts so spans cover measured ops
+    only.  Returns ``(result, sim, (client, server))``.
+    """
+    if kind not in ("lat", "bw"):
+        raise ConfigError(f"kind must be 'lat' or 'bw', got {kind!r}")
+    from repro.sim.trace import Trace
+
+    sim, client, server = _build(config, trace=Trace(enabled=True))
+    sim.trace.clear()  # drop connection-setup records; keep measured ops
+    probe = _make_probe(sim, config, f"attr:{kind}:{config.op}:{size}")
+    func = (_LAT_FUNCS if kind == "lat" else _BW_FUNCS)[config.op]
+    kwargs = dict(iters=config.iters, warmup=config.warmup,
+                  techniques=config.techniques, fastforward=probe)
+    if kind == "bw":
+        kwargs["window"] = config.window
+
+    def main() -> Generator:
+        result = yield from func(sim, client, server, size, **kwargs)
+        return result
+
+    result = sim.run(sim.process(main()))
+    _note_run(sim, probe)
+    return result, sim, (client, server)
 
 
 def sweep_lat(config: PerftestConfig, sizes: list[int]) -> list[LatencyResult]:

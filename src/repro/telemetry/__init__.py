@@ -21,8 +21,20 @@ or set ``REPRO_TELEMETRY=1`` for the perftest runner / figure benchmarks
 (exports land under ``REPRO_TELEMETRY_DIR``, default ``results/telemetry``).
 """
 
+from repro.telemetry.attribution import (
+    ATTRIBUTION_PROBES,
+    AttributionTable,
+    OpBlame,
+    ProbeSpec,
+    StageBlame,
+    aggregate,
+    attribute_spans,
+    run_figure_probes,
+    run_probe,
+)
 from repro.telemetry.export import (
     chrome_trace,
+    folded_stacks,
     jsonl_lines,
     metrics_snapshot,
     records_from_jsonl,
@@ -38,14 +50,24 @@ from repro.telemetry.spans import SPAN_CATEGORY, OpSpan, SpanMark, SpanStage, bu
 
 __all__ = [
     "SPAN_CATEGORY",
+    "ATTRIBUTION_PROBES",
+    "AttributionTable",
+    "OpBlame",
     "OpSpan",
+    "ProbeSpec",
     "SpanMark",
     "SpanStage",
+    "StageBlame",
+    "aggregate",
+    "attribute_spans",
     "build_spans",
     "chrome_trace",
+    "folded_stacks",
     "jsonl_lines",
     "metrics_snapshot",
     "records_from_jsonl",
+    "run_figure_probes",
+    "run_probe",
     "Gauge",
     "Log2Histogram",
     "MetricCounter",

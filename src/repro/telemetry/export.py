@@ -106,6 +106,47 @@ def chrome_trace(
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
+# -- folded stacks (FlameGraph / speedscope) ----------------------------------
+
+
+def folded_stacks(
+    trace: Union[Trace, Iterable[TraceRecord], None] = None,
+    blames: Optional[list] = None,
+    op: Optional[str] = None,
+) -> list[str]:
+    """Render attribution as folded stacks with simulated-ns weights.
+
+    One line per unique frame stack, ``frame;frame;... <weight>``, the
+    format ``flamegraph.pl`` and speedscope ingest directly.  Frames are
+    ``op → dataplane → host → component → stage → queue|service`` so the
+    flame width at any level answers "where did the nanoseconds go" at
+    that granularity, and the queue/service leaf split shows contention
+    vs work.
+
+    Pass either a trace (spans are built and attributed here) or
+    pre-computed ``blames`` from
+    :func:`repro.telemetry.attribution.attribute_spans`.
+    """
+    from repro.telemetry.attribution import attribute_spans
+
+    if blames is None:
+        if trace is None:
+            raise ValueError("folded_stacks needs a trace or blames")
+        blames = attribute_spans(build_spans(trace, op=op))
+    weights: dict[str, int] = {}
+    for blame in blames:
+        prefix = f"{blame.op};{blame.dataplane};host{blame.host}"
+        for stage in blame.stages:
+            frame = f"{prefix};{stage.comp};{stage.name}"
+            for leaf, ns in (("queue", stage.queue_ns),
+                             ("service", stage.service_ns)):
+                ins = int(round(ns))
+                if ins > 0:
+                    key = f"{frame};{leaf}"
+                    weights[key] = weights.get(key, 0) + ins
+    return [f"{key} {weight}" for key, weight in sorted(weights.items())]
+
+
 # -- JSONL --------------------------------------------------------------------
 
 
@@ -159,6 +200,12 @@ def metrics_snapshot(
     out: dict[str, object] = {
         "time_ns": sim.now,
         "telemetry_enabled": sim.telemetry.enabled,
+        "trace": {
+            "enabled": sim.trace.enabled,
+            "records": len(sim.trace),
+            "dropped": sim.trace.dropped,
+            "max_records": sim.trace.max_records,
+        },
         "scopes": sim.telemetry.snapshot(),
     }
     host_state: dict[str, object] = {}

@@ -103,11 +103,39 @@ class Log2Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (0..100), interpolated in-bucket.
+
+        Bucket ``i`` spans ``[2^i, 2^(i+1))`` (bucket 0 starts at 0, since
+        sub-unit values all land there); the estimate assumes a uniform
+        spread within the bucket, so the error is bounded by the bucket
+        width — the usual log2-histogram trade.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for bucket, n in sorted(self.buckets.items()):
+            if cumulative + n >= target:
+                lo = 0.0 if bucket == 0 else float(2 ** bucket)
+                hi = float(2 ** (bucket + 1))
+                # Fraction of this bucket's mass needed to reach the target.
+                frac = (target - cumulative) / n
+                return lo + frac * (hi - lo)
+            cumulative += n
+        # q == 100 rounding tail: top of the last bucket.
+        last = max(self.buckets)
+        return float(2 ** (last + 1))
+
     def snapshot(self) -> dict[str, object]:
         return {
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 

@@ -136,6 +136,66 @@ def test_metrics_command_cord(capsys):
     assert snap["scopes"]["host0"]["counters"]["cpu.syscalls"]["count"] > 0
 
 
+def test_trace_folded_format(capsys):
+    assert main(["trace", "--format", "folded", "--iters", "2"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert lines
+    for line in lines:
+        frames, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+        assert frames.split(";")[-1] in ("queue", "service")
+
+
+def test_attribute_command(capsys):
+    assert main(["attribute", "--size", "4096", "--iters", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "attribution" in out and "queue ns" in out and "service ns" in out
+    assert "explained" in out
+    assert "tx_wire" in out
+
+
+def test_attribute_command_bw_with_artifacts(tmp_path, capsys):
+    import json
+
+    json_path = tmp_path / "attr.json"
+    folded_path = tmp_path / "attr.folded"
+    assert main(["attribute", "--kind", "bw", "--size", "32768",
+                 "--iters", "40", "--window", "8",
+                 "--critical-path", "--tree", "0",
+                 "--json", str(json_path),
+                 "--flamegraph", str(folded_path)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "span" in out  # the blame tree
+    doc = json.loads(json_path.read_text())
+    assert doc["dropped"] == 0
+    assert doc["tables"] and doc["tables"][0]["ops"] > 0
+    assert doc["config"]["kind"] == "bw"
+    folded = folded_path.read_text().splitlines()
+    assert folded and all(line.rsplit(" ", 1)[1].isdigit() for line in folded)
+
+
+def test_attribute_rejects_sweep(capsys):
+    assert main(["attribute", "--sweep"]) == 2
+    assert "drop --sweep" in capsys.readouterr().err
+
+
+def test_warn_dropped_prints_to_stderr(capsys):
+    from repro.cli import _warn_dropped
+    from repro.sim.trace import Trace
+
+    trace = Trace(enabled=True, max_records=2)
+    for i in range(5):
+        trace.emit(float(i), "x", "e")
+    assert trace.dropped == 3
+    _warn_dropped(trace)
+    err = capsys.readouterr().err
+    assert "WARNING" in err and "dropped 3 records" in err
+    _warn_dropped(Trace(enabled=True))
+    assert capsys.readouterr().err == ""
+
+
 def test_parser_rejects_unknown_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -216,6 +216,66 @@ def test_log2_histogram_buckets(value, bucket):
     assert h.buckets == {bucket: 1}
 
 
+def test_log2_histogram_percentile_single_bucket_interpolates():
+    h = Log2Histogram("lat")
+    for _ in range(4):
+        h.observe(100)  # bucket 6: [64, 128)
+    # Uniform-in-bucket assumption: quartiles interpolate across [64, 128).
+    assert h.percentile(0) == pytest.approx(64.0)
+    assert h.percentile(50) == pytest.approx(96.0)
+    assert h.percentile(100) == pytest.approx(128.0)
+
+
+def test_log2_histogram_percentile_across_buckets():
+    h = Log2Histogram("lat")
+    for v in (1, 2, 4, 8):  # buckets 0..3, one each
+        h.observe(v)
+    # p25 lands at the top of bucket 0 ([0, 2)); p99 inside bucket 3.
+    assert h.percentile(25) == pytest.approx(2.0)
+    assert h.percentile(75) == pytest.approx(8.0)
+    assert 8.0 < h.percentile(99) <= 16.0
+    assert h.percentile(50) <= h.percentile(90) <= h.percentile(99)
+
+
+def test_log2_histogram_percentile_edges():
+    h = Log2Histogram("lat")
+    assert h.percentile(50) == 0.0  # empty histogram
+    h.observe(0)
+    assert 0.0 <= h.percentile(99) <= 2.0  # bucket 0 spans [0, 2)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_log2_histogram_snapshot_carries_percentiles():
+    h = Log2Histogram("lat")
+    for v in (10, 20, 500):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["p50"] == pytest.approx(h.percentile(50))
+    assert snap["p99"] == pytest.approx(h.percentile(99))
+    assert snap["p50"] <= snap["p99"]
+
+
+def test_metrics_snapshot_surfaces_trace_retention():
+    sim, host_a, host_b = run_traced(iters=6, max_records=40)
+    assert sim.trace.dropped > 0  # the ring evicted setup-era records
+    snap = metrics_snapshot(sim, hosts=[host_a, host_b])
+    trace_info = snap["trace"]
+    assert trace_info["enabled"] is True
+    assert trace_info["records"] == 40
+    assert trace_info["max_records"] == 40
+    assert trace_info["dropped"] == sim.trace.dropped
+
+
+def test_metrics_snapshot_trace_unbounded_reports_no_drops():
+    sim, _a, _b = run_traced(iters=2)
+    snap = metrics_snapshot(sim)
+    assert snap["trace"]["dropped"] == 0
+    assert snap["trace"]["max_records"] is None
+
+
 def test_telemetry_scopes_lazy_and_stable():
     tele = Telemetry(enabled=True)
     reg = tele.scope("host0")
