@@ -1,0 +1,200 @@
+"""Incast benchmark — N→1 fan-in under receiver-side fabric contention.
+
+Sweeps the sender count (N ∈ {2, 4, 8, 16}) for a bypass (BP) and a CoRD
+(CD) dataplane, all senders streaming RDMA writes at one receiver host.
+With the receiver-side contention model on (the default for >2-host
+clusters), all flows share the receiver's switch output port, so the
+aggregate receive rate caps at one link's bandwidth and per-flow goodput
+falls as 1/N.  The sweep also runs one point with the legacy
+source-port-only fabric (``rx_contention=False``) to expose the modeling
+bug this layer fixes — N links' worth of aggregate receive bandwidth —
+and one point with a bounded switch buffer to exercise tail drops through
+the RC retransmit machinery.
+
+Results are recorded into ``results/BENCH_incast.json`` (smoke-scale runs
+must point ``REPRO_INCAST_JSON`` somewhere explicitly, mirroring the
+``BENCH_figures.json`` policy); ``tools/check_incast.py`` gates the
+invariants in CI.
+
+Shape checks:
+
+- every contention-on aggregate rate is capped at one link's bandwidth;
+- mean per-flow goodput is non-increasing in N (per dataplane);
+- unbounded buffers never drop and never retransmit;
+- the legacy fabric exceeds one link's bandwidth at N=8 (the bug exists);
+- a bounded buffer drops, retransmits recover, and every flow completes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import SweepTable, check_between, format_table
+from repro.bench_support import (
+    bench_scale,
+    emit,
+    parallel_sweep,
+    report_checks,
+    results_dir,
+    scaled,
+)
+from repro.hw.profiles import get_profile
+from repro.perftest.incast import IncastConfig, run_incast
+from repro.units import to_gbit_per_s
+
+SENDERS = [2, 4, 8, 16]
+PLANES = [("BP", "bypass"), ("CD", "cord")]
+SYSTEM = "L"
+SIZE = 64 * 1024
+#: Bounded-buffer point: small enough that an 8→1 burst overflows it,
+#: large enough that RC retransmits recover within the retry budget.
+BOUNDED_BUFFER = 1024 * 1024
+
+INCAST_JSON_ENV = "REPRO_INCAST_JSON"
+
+
+def _incast_json_path():
+    raw = os.environ.get(INCAST_JSON_ENV, "").strip()
+    return raw or str(results_dir() / "BENCH_incast.json")
+
+
+def _point(cfg: IncastConfig):
+    return run_incast(cfg)
+
+
+def _cfg(dataplane: str, senders: int) -> IncastConfig:
+    return IncastConfig(
+        system=SYSTEM, dataplane=dataplane, senders=senders, size=SIZE,
+        msgs_per_sender=scaled(48, minimum=8), window=16,
+    )
+
+
+def _sweep():
+    points = [_cfg(kind, n) for _label, kind in PLANES for n in SENDERS]
+    # Controls: the legacy source-port-only fabric at N=8, and a bounded
+    # switch buffer at N=8 (tail drops + RC retransmit recovery).
+    legacy = _cfg("bypass", 8).with_(rx_contention=False)
+    bounded = _cfg("bypass", 8).with_(buffer_bytes=BOUNDED_BUFFER)
+    results = parallel_sweep(_point, points + [legacy, bounded])
+    bounded_r = results.pop()
+    legacy_r = results.pop()
+    return points, results, legacy_r, bounded_r
+
+
+def _entry(r) -> dict:
+    return {
+        "senders": r.config.senders,
+        "dataplane": r.config.dataplane,
+        "rx_contention": r.config.rx_contention,
+        "buffer_bytes": r.config.buffer_bytes,
+        "msgs_per_sender": r.config.msgs_per_sender,
+        "size": r.config.size,
+        "aggregate_gbit": r.aggregate_gbit,
+        "per_flow_mean_gbit": r.per_flow_mean_gbit,
+        "flow_goodputs_gbit": list(r.flow_goodputs_gbit),
+        "rx_queue_peak_bytes": r.rx_queue_peak_bytes,
+        "messages_dropped": r.messages_dropped,
+        "retransmits": r.retransmits,
+        "ack_timeouts": r.ack_timeouts,
+    }
+
+
+def _record(results, legacy_r, bounded_r) -> None:
+    path = _incast_json_path()
+    if bench_scale() < 1.0 and not os.environ.get(INCAST_JSON_ENV, "").strip():
+        print(f"[bench] not recording incast sweep at scale {bench_scale():g} "
+              f"into the committed {path} (set {INCAST_JSON_ENV} to record "
+              "smoke runs)")
+        return
+    link_gbit = to_gbit_per_s(get_profile(SYSTEM).nic.link_bw)
+    doc = {
+        "system": SYSTEM,
+        "link_gbit": link_gbit,
+        "scale": bench_scale(),
+        "sweep": {},
+        "legacy_rx_off": _entry(legacy_r),
+        "bounded_buffer": _entry(bounded_r),
+    }
+    it = iter(results)
+    for label, _kind in PLANES:
+        doc["sweep"][label] = [_entry(next(it)) for _n in SENDERS]
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] recorded incast sweep -> {path}")
+
+
+def _report(points, results, legacy_r, bounded_r):
+    link_gbit = to_gbit_per_s(get_profile(SYSTEM).nic.link_bw)
+    agg = SweepTable(f"Incast: aggregate receive rate, {SIZE // 1024} KiB "
+                     "writes (Gbit/s)", "N")
+    flow = SweepTable("Incast: mean per-flow goodput (Gbit/s)", "N")
+    it = iter(results)
+    by_label: dict[str, list] = {}
+    for label, _kind in PLANES:
+        sa = agg.new_series(label)
+        sf = flow.new_series(label)
+        rs = [next(it) for _n in SENDERS]
+        by_label[label] = rs
+        for n, r in zip(SENDERS, rs):
+            sa.add(str(n), r.aggregate_gbit)
+            sf.add(str(n), r.per_flow_mean_gbit)
+
+    parts = []
+    for t in (agg, flow):
+        h, r = t.rows()
+        parts.append(format_table(h, r, t.title))
+    parts.append(
+        f"legacy fabric (rx_contention off), N=8: "
+        f"{legacy_r.aggregate_gbit:.1f} Gbit/s aggregate "
+        f"(link is {link_gbit:.0f} Gbit/s)\n"
+        f"bounded buffer ({BOUNDED_BUFFER // 1024} KiB), N=8: "
+        f"{bounded_r.aggregate_gbit:.1f} Gbit/s, "
+        f"{bounded_r.messages_dropped} drops, "
+        f"{bounded_r.retransmits} retransmits"
+    )
+    text = "\n\n".join(parts)
+
+    checks = []
+    for label, _kind in PLANES:
+        rs = by_label[label]
+        worst = max(r.aggregate_gbit for r in rs)
+        checks.append(check_between(
+            f"{label}: aggregate receive rate capped at one link",
+            worst, 0.0, link_gbit * 1.02))
+        means = [r.per_flow_mean_gbit for r in rs]
+        checks.append(check_between(
+            f"{label}: per-flow goodput non-increasing in N",
+            1.0 if all(a >= b * 0.99 for a, b in zip(means, means[1:]))
+            else 0.0, 1.0, 1.0))
+        checks.append(check_between(
+            f"{label}: unbounded buffers never drop",
+            float(sum(r.messages_dropped + r.retransmits for r in rs)),
+            0.0, 0.0))
+    checks.append(check_between(
+        "legacy rx-off fabric exceeds one link at N=8 (the bug)",
+        legacy_r.aggregate_gbit, link_gbit * 2.0, float("inf")))
+    checks.append(check_between(
+        "bounded buffer tail-drops (drops > 0)",
+        float(bounded_r.messages_dropped), 1.0, float("inf")))
+    checks.append(check_between(
+        "bounded-buffer drops recover via retransmit",
+        float(bounded_r.retransmits), float(bounded_r.messages_dropped),
+        float("inf")))
+    emit("incast_fan_in", text + "\n" + report_checks("incast", checks))
+    _record(results, legacy_r, bounded_r)
+
+
+@pytest.mark.benchmark(group="incast")
+def test_incast_fan_in(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _report(*results)
+
+
+def main():
+    _report(*_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -98,7 +98,17 @@ def cmd_bw(args) -> int:
     return 0
 
 
+def _rx_contention_arg(args):
+    """Map --rx-contention/--rx-buffer-bytes to a build_cluster argument."""
+    from repro.hw.profiles import RxContentionProfile
+
+    if args.rx_buffer_bytes is not None:
+        return RxContentionProfile(buffer_bytes=args.rx_buffer_bytes)
+    return {"auto": "auto", "on": True, "off": False}[args.rx_contention]
+
+
 def cmd_npb(args) -> int:
+    rx_contention = _rx_contention_arg(args)
     rows = []
     for name in args.bench:
         cfg = NpbConfig(name=name, klass=args.klass, ranks=args.ranks,
@@ -106,7 +116,9 @@ def cmd_npb(args) -> int:
         results = {}
         for transport in args.transports:
             results[transport] = run_npb(cfg, transport=transport,
-                                         system=args.system, seed=args.seed)
+                                         system=args.system, seed=args.seed,
+                                         hosts_n=args.hosts,
+                                         rx_contention=rx_contention)
         base = results[args.transports[0]]
         row = [name, f"{base.per_iter_ns / 1e6:.3f}"]
         for transport in args.transports:
@@ -117,7 +129,36 @@ def cmd_npb(args) -> int:
     ]
     print(format_table(header, rows,
                        title=f"NPB class {args.klass}, {args.ranks} ranks, "
-                             f"system {args.system}"))
+                             f"{args.hosts} hosts, system {args.system}"))
+    return 0
+
+
+def cmd_incast(args) -> int:
+    """N→1 incast: many senders stream RDMA writes at one receiver."""
+    from repro.perftest.incast import IncastConfig, run_incast
+
+    rows = []
+    for n in args.senders:
+        cfg = IncastConfig(
+            system=args.system, dataplane=args.dataplane, senders=n,
+            size=args.size, msgs_per_sender=args.msgs, window=args.window,
+            seed=args.seed, rx_contention=args.rx_contention != "off",
+            buffer_bytes=args.rx_buffer_bytes,
+        )
+        r = run_incast(cfg)
+        rows.append([
+            str(n), f"{r.aggregate_gbit:.2f}", f"{r.per_flow_mean_gbit:.2f}",
+            pretty_size(r.rx_queue_peak_bytes), str(r.messages_dropped),
+            str(r.retransmits),
+        ])
+    print(format_table(
+        ["senders", "aggregate Gbit/s", "per-flow Gbit/s", "peak rxq",
+         "drops", "retransmits"],
+        rows,
+        title=f"{args.dataplane} incast on system {args.system}, "
+              f"{pretty_size(args.size)} x {args.msgs} msgs/sender "
+              f"(rx_contention {'off' if args.rx_contention == 'off' else 'on'})",
+    ))
     return 0
 
 
@@ -396,7 +437,44 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["bypass", "cord", "ipoib"],
                        default=["bypass", "cord", "ipoib"])
     p_npb.add_argument("--seed", type=int, default=11)
+    p_npb.add_argument("--hosts", type=int, default=2,
+                       help="number of hosts ranks are spread over")
+    p_npb.add_argument("--rx-contention", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="receiver-side fabric contention (auto: on for "
+                            ">2 hosts)")
+    p_npb.add_argument("--rx-buffer-bytes", type=int, default=None,
+                       help="bounded switch output-port buffer (implies "
+                            "rx contention on; drops feed RC retransmit)")
     p_npb.set_defaults(func=cmd_npb)
+
+    p_incast = sub.add_parser(
+        "incast",
+        help="N→1 incast sweep (receiver-side contention demo)",
+        description="Many senders stream RDMA writes at one receiver.  "
+                    "With receiver-side contention on (default), the "
+                    "aggregate receive rate caps at one link's bandwidth; "
+                    "with --rx-contention off the legacy source-port-only "
+                    "fabric absorbs N links' worth (the modeling bug this "
+                    "mode exists to show).",
+    )
+    p_incast.add_argument("--system", choices=sorted(PROFILES), default="L")
+    p_incast.add_argument("--dataplane", choices=["bypass", "cord"],
+                          default="bypass")
+    p_incast.add_argument("--senders", type=int, nargs="+",
+                          default=[2, 4, 8, 16])
+    p_incast.add_argument("--size", type=int, default=64 * 1024)
+    p_incast.add_argument("--msgs", type=int, default=32,
+                          help="messages per sender")
+    p_incast.add_argument("--window", type=int, default=16,
+                          help="per-sender in-flight write window")
+    p_incast.add_argument("--seed", type=int, default=7)
+    p_incast.add_argument("--rx-contention", choices=["on", "off"],
+                          default="on")
+    p_incast.add_argument("--rx-buffer-bytes", type=int, default=None,
+                          help="bounded switch output-port buffer in bytes "
+                               "(default unbounded)")
+    p_incast.set_defaults(func=cmd_incast)
 
     p_trace = sub.add_parser("trace", help="trace one message's life")
     p_trace.add_argument("--system", choices=sorted(PROFILES), default="L")

@@ -1,7 +1,7 @@
 """Cluster wiring: hosts (cores + memory + NIC + kernel) and the fabric."""
 
-from repro.cluster.fabric import Fabric
+from repro.cluster.fabric import Fabric, SwitchPort
 from repro.cluster.host import Host
 from repro.cluster.builder import build_cluster, build_pair
 
-__all__ = ["Fabric", "Host", "build_cluster", "build_pair"]
+__all__ = ["Fabric", "SwitchPort", "Host", "build_cluster", "build_pair"]

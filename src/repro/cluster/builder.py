@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.cluster.fabric import Fabric
+from repro.cluster.fabric import Fabric, RxContentionSpec
 from repro.cluster.host import Host
-from repro.hw.profiles import SystemProfile
+from repro.hw.profiles import RxContentionProfile, SystemProfile
 from repro.sim.engine import Simulator
 
 
@@ -15,15 +15,32 @@ def build_cluster(
     system: SystemProfile,
     num_hosts: int,
     chunk_bytes: Optional[int] = None,
+    rx_contention: Union[str, RxContentionSpec] = "auto",
 ) -> tuple[Fabric, list[Host]]:
-    """Build ``num_hosts`` hosts on one fabric."""
+    """Build ``num_hosts`` hosts on one fabric.
+
+    ``rx_contention`` selects the receiver-side contention model (see
+    :mod:`repro.cluster.fabric`): ``"auto"`` (default) enables it only for
+    clusters larger than the paper's two-node testbeds — where fan-in is
+    possible — taking ``system.rx_contention`` when set and falling back
+    to an unbounded-buffer :class:`RxContentionProfile`.  Pass
+    ``True``/``False``/a profile to force it either way.  Two-host builds
+    stay bit-identical to the committed goldens under ``"auto"``.
+    """
     if num_hosts < 1:
         raise ValueError(f"need at least one host, got {num_hosts}")
+    if rx_contention == "auto":
+        rx: RxContentionSpec = None
+        if num_hosts > 2:
+            rx = system.rx_contention or RxContentionProfile()
+    else:
+        rx = rx_contention  # type: ignore[assignment]
     fabric = Fabric(
         sim,
         system.nic,
         propagation_ns=system.propagation_ns,
         chunk_bytes=chunk_bytes,
+        rx_contention=rx,
         name=f"fabric:{system.name}",
     )
     hosts = []

@@ -7,24 +7,77 @@ correctly shares a single 100/200 Gbit/s port per host — then arrives at the
 destination after the propagation delay.  Per-packet overheads are charged
 arithmetically from the MTU (see :mod:`repro.hw.link` for rationale).
 
+**Receiver-side contention** (opt-in via ``rx_contention=``): the source-only
+model gives an N→1 incast unbounded aggregate receive bandwidth — every
+sender's port runs at full rate and the arrivals just stack up at the
+destination.  With an :class:`~repro.hw.profiles.RxContentionProfile`
+attached, each host additionally owns an **RX ingress port** (a capacity-1
+serial resource mirroring the TX side) fed by a **switch output queue**:
+a message pays propagation, is admitted to the destination port's byte
+buffer (tail-dropped on overflow when ``buffer_bytes`` is bounded — the RC
+ACK-timeout machinery retransmits), then drains through the ingress port at
+link rate before the NIC sees it.  Fan-in therefore sustains at most one
+link's bandwidth at the receiver, and queue occupancy is exported as
+telemetry plus an ``rx_port`` attribution stage.  With ``rx_contention``
+off (the default) the transmit path is byte-for-byte the paper's two-node
+model, so all committed goldens stay bit-identical.
+
 Loopback (src == dst) bypasses the wire: the NIC hairpins the message at
 PCIe bandwidth with a small fixed latency.  The paper's MPI runs forbid
 shared memory, so intra-node traffic really does traverse the NIC.
+Hairpin traffic *is* subject to an attached fault layer (scoped to the
+host's ``loopback`` link — its own RNG stream), so ``FaultPlan`` loss and
+degradation apply to intra-host ranks in multi-host MPI worlds too.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional, Union
 
 from repro.errors import HardwareError
-from repro.hw.profiles import NicProfile
+from repro.hw.profiles import NicProfile, RxContentionProfile
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.nic import Nic
     from repro.sim.engine import Simulator
     from repro.sim.events import Event
+
+#: What callers may pass as ``rx_contention``: a profile, a bool toggle
+#: (``True`` = unbounded-buffer defaults), or ``None`` (off).
+RxContentionSpec = Union[None, bool, RxContentionProfile]
+
+
+def _normalize_rx_contention(spec: RxContentionSpec) -> Optional[RxContentionProfile]:
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return RxContentionProfile()
+    if isinstance(spec, RxContentionProfile):
+        return spec
+    raise HardwareError(
+        f"rx_contention must be None/bool/RxContentionProfile, got {spec!r}"
+    )
+
+
+class SwitchPort:
+    """One switch output port: a byte buffer draining through a serial
+    ingress resource at link rate.  Created per attached host when the
+    fabric runs with receiver-side contention."""
+
+    __slots__ = ("host_id", "resource", "buffer_bytes", "queued_bytes",
+                 "peak_queued_bytes", "messages_dropped", "bytes_dropped")
+
+    def __init__(self, host_id: int, resource: Resource,
+                 buffer_bytes: Optional[int]):
+        self.host_id = host_id
+        self.resource = resource
+        self.buffer_bytes = buffer_bytes
+        self.queued_bytes = 0
+        self.peak_queued_bytes = 0
+        self.messages_dropped = 0
+        self.bytes_dropped = 0
 
 
 class Fabric:
@@ -37,6 +90,7 @@ class Fabric:
         propagation_ns: float,
         loopback_latency_ns: float = 350.0,
         chunk_bytes: Optional[int] = None,
+        rx_contention: RxContentionSpec = None,
         name: str = "fabric",
     ):
         self.sim = sim
@@ -46,14 +100,37 @@ class Fabric:
         #: Optional transmission granularity for fairness experiments: large
         #: messages are chopped into chunks so flows interleave on the port.
         self.chunk_bytes = chunk_bytes
+        #: Receiver-side contention model (see module docstring); ``None``
+        #: keeps the source-port-only semantics bit-identical to the seed.
+        self.rx_contention = _normalize_rx_contention(rx_contention)
         self.name = name
         self._nics: dict[int, "Nic"] = {}
         self._tx_ports: dict[int, Resource] = {}
+        self._rx_ports: dict[int, SwitchPort] = {}
+        #: Delivered traffic only — messages lost on the wire or tail-dropped
+        #: at a switch buffer land in the ``*_dropped`` counters instead.
         self.bytes_carried = 0
         self.messages_carried = 0
+        self.messages_dropped = 0
+        self.bytes_dropped = 0
         #: Optional fault layer (see :mod:`repro.faults`).  None keeps the
         #: fabric lossless at the cost of one branch per transmit.
         self.faults = None
+        if self.rx_contention is not None:
+            # RX backlog lives in parked Resource requests, not heap events:
+            # expose it to steady-state cycle probes or fast-forward could
+            # declare a period while a queue is still draining.
+            sim.register_state_provider(self._rx_queue_state)
+
+    @property
+    def lossy(self) -> bool:
+        """Can this fabric ever drop a message?  True with a fault layer
+        attached or a bounded switch buffer — RC senders arm ACK-timeout
+        timers exactly when this holds."""
+        rx = self.rx_contention
+        return self.faults is not None or (
+            rx is not None and rx.buffer_bytes is not None
+        )
 
     def inject_faults(self, plan) -> "object":
         """Attach a :class:`~repro.faults.FaultPlan` (or a prebuilt
@@ -74,12 +151,36 @@ class Fabric:
         self._tx_ports[nic.host_id] = Resource(
             self.sim, capacity=1, name=f"{self.name}.tx{nic.host_id}"
         )
+        rx = self.rx_contention
+        if rx is not None:
+            self._rx_ports[nic.host_id] = SwitchPort(
+                nic.host_id,
+                Resource(self.sim, capacity=1, name=f"{self.name}.rx{nic.host_id}"),
+                rx.buffer_bytes,
+            )
 
     def nic(self, host_id: int) -> "Nic":
         try:
             return self._nics[host_id]
         except KeyError:
             raise HardwareError(f"no host {host_id} on {self.name}") from None
+
+    def rx_port(self, host_id: int) -> SwitchPort:
+        """The switch output port feeding ``host_id`` (rx_contention only)."""
+        try:
+            return self._rx_ports[host_id]
+        except KeyError:
+            raise HardwareError(
+                f"no rx port for host {host_id} on {self.name} "
+                "(is rx_contention enabled?)"
+            ) from None
+
+    def _rx_queue_state(self) -> tuple:
+        return tuple(
+            (hid, port.queued_bytes, len(port.resource.users),
+             len(port.resource.queue))
+            for hid, port in sorted(self._rx_ports.items())
+        )
 
     # -- timing ---------------------------------------------------------------
 
@@ -99,7 +200,8 @@ class Fabric:
         """Carry ``payload`` from ``src_host`` to ``dst_host``.
 
         Returns when the last bit leaves the source port; delivery happens
-        ``propagation_ns`` later.  FIFO per source port preserves per-QP
+        ``propagation_ns`` later (plus receiver-port queueing when
+        ``rx_contention`` is on).  FIFO per source port preserves per-QP
         ordering (PSN reordering at the receiver covers the rest).
         """
         if nbytes < 0:
@@ -107,11 +209,26 @@ class Fabric:
         dst = self.nic(dst_host)
 
         if src_host == dst_host:
-            # NIC hairpin: PCIe out and back in, no wire.
+            # NIC hairpin: PCIe out and back in, no wire — but the same
+            # fault hook applies, scoped to the host's loopback link.
             yield self._loopback_ns(nbytes)
+            extra = 0.0
+            faults = self.faults
+            if faults is not None:
+                verdict = faults.on_transmit(
+                    src_host, dst_host, self.sim.now,
+                    getattr(payload, "kind", "raw"), nbytes,
+                    self.loopback_latency_ns,
+                )
+                if verdict is None:
+                    self.messages_dropped += 1
+                    self.bytes_dropped += nbytes
+                    return  # dropped in the hairpin: never delivered
+                extra = verdict
             self.bytes_carried += nbytes
             self.messages_carried += 1
-            self.sim.call_later(self.loopback_latency_ns, dst.deliver, payload)
+            self.sim.call_later(self.loopback_latency_ns + extra,
+                                dst.deliver, payload)
             return
 
         port = self._tx_ports[src_host]
@@ -125,28 +242,104 @@ class Fabric:
         else:
             # Chunked: the port is re-acquired per chunk so concurrent flows
             # interleave instead of suffering whole-message head-of-line.
-            remaining = nbytes
-            while remaining > 0:
-                chunk = min(remaining, self.chunk_bytes)
+            # Packet charges follow *cumulative* byte boundaries — a chunk
+            # pays for the packets its bytes complete — so the total packet
+            # count equals the unchunked ceil(nbytes/mtu) bit-exactly even
+            # when chunk_bytes is not an MTU multiple.
+            mtu = self.profile.mtu
+            per_packet_ns = self.profile.per_packet_ns
+            link_bw = self.profile.link_bw
+            sent = 0
+            packets_charged = 0
+            while sent < nbytes:
+                chunk = min(nbytes - sent, self.chunk_bytes)
+                sent += chunk
+                packets = max(1, math.ceil(sent / mtu)) - packets_charged
                 req = port.request()
                 yield req
                 try:
-                    yield self.serialization_ns(chunk)
+                    yield packets * per_packet_ns + chunk / link_bw
                 finally:
                     port.release(req)
-                remaining -= chunk
-        self.bytes_carried += nbytes
-        self.messages_carried += 1
+                packets_charged += packets
+
+        extra = 0.0
         faults = self.faults
         if faults is not None:
-            extra = faults.on_transmit(
+            verdict = faults.on_transmit(
                 src_host, dst_host, self.sim.now,
                 getattr(payload, "kind", "raw"), nbytes, self.propagation_ns,
             )
-            if extra is None:
+            if verdict is None:
+                self.messages_dropped += 1
+                self.bytes_dropped += nbytes
                 return  # dropped on the wire: never delivered
-            if extra:
-                self.sim.call_later(self.propagation_ns + extra,
-                                    dst.deliver, payload)
-                return
-        self.sim.call_later(self.propagation_ns, dst.deliver, payload)
+            extra = verdict
+        if self.rx_contention is not None:
+            self.sim.spawn(
+                self._rx_deliver(dst, nbytes, payload,
+                                 self.propagation_ns + extra),
+                name=f"{self.name}.rxq",
+            )
+            return
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        self.sim.call_later(self.propagation_ns + extra, dst.deliver, payload)
+
+    def _rx_deliver(
+        self, dst: "Nic", nbytes: int, payload: object, delay: float
+    ) -> Generator["Event", object, None]:
+        """Receiver side of one message: propagation, switch output-queue
+        admission (tail drop on overflow), then drain through the host's
+        RX ingress port at link rate."""
+        if delay > 0:
+            yield delay
+        port = self._rx_ports[dst.host_id]
+        if (port.buffer_bytes is not None
+                and port.queued_bytes + nbytes > port.buffer_bytes):
+            # Tail drop at the switch output queue.  The RC ACK-timeout
+            # machinery recovers exactly as for a wire-fault drop (the NIC
+            # arms timers whenever ``self.lossy`` holds).
+            port.messages_dropped += 1
+            port.bytes_dropped += nbytes
+            self.messages_dropped += 1
+            self.bytes_dropped += nbytes
+            tele = self.sim.telemetry
+            if tele.enabled:
+                reg = tele.scope(f"host{dst.host_id}")
+                reg.counter("fabric.rx.dropped").inc(
+                    nbytes, key=getattr(payload, "kind", "raw"))
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.emit(self.sim.now, "fabric", "rx_drop",
+                           host=dst.host_id,
+                           kind=getattr(payload, "kind", "raw"),
+                           size=nbytes, queued=port.queued_bytes)
+            return
+        port.queued_bytes += nbytes
+        if port.queued_bytes > port.peak_queued_bytes:
+            port.peak_queued_bytes = port.queued_bytes
+        tele = self.sim.telemetry
+        if tele.enabled:
+            reg = tele.scope(f"host{dst.host_id}")
+            reg.gauge("fabric.rxq.bytes").set(port.queued_bytes)
+            reg.histogram("fabric.rxq.occupancy").observe(port.queued_bytes)
+        trace = self.sim.trace
+        if trace.enabled:
+            span = getattr(payload, "span", None)
+            if span is not None:
+                trace.emit(self.sim.now, "span", "mark", span=span,
+                           stage="rx_port", host=dst.host_id, comp="wire")
+        req = port.resource.request()
+        yield req
+        try:
+            yield self.serialization_ns(nbytes)
+        finally:
+            port.resource.release(req)
+            port.queued_bytes -= nbytes
+        if tele.enabled:
+            tele.scope(f"host{dst.host_id}").gauge(
+                "fabric.rxq.bytes").set(port.queued_bytes)
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        dst.deliver(payload)

@@ -12,9 +12,11 @@ RNR path).  A :class:`FaultInjector` binds a plan to one simulator and
 makes the drop/delay decisions.
 
 Determinism contract: every random decision draws from a named
-``repro.sim.rng`` stream (one per directed link, derived from the master
-seed), so two runs with the same seed and plan are bit-identical, and
-plans touching different links do not perturb each other's draws.  With
+``repro.sim.rng`` stream (one per directed link — switch-port granularity,
+with each host's hairpin path on its own ``loopback`` stream — derived
+from the master seed), so two runs with the same seed and plan are
+bit-identical, and plans touching different links do not perturb each
+other's draws.  With
 no injector attached the hook costs one ``is None`` branch per transmit
 and zero RNG draws, keeping faults-off runs bit-identical to a build
 without this module.
@@ -51,7 +53,9 @@ class FaultPlan:
     across ``parallel_sweep`` process boundaries.
     """
 
-    #: Uniform per-message drop probability on every non-loopback link.
+    #: Uniform per-message drop probability on every link, including each
+    #: host's hairpin/loopback path (src == dst) — intra-host ranks in
+    #: multi-host MPI worlds see the same loss as wire traffic.
     loss: float = 0.0
     #: Per-directed-link overrides: ((src_host, dst_host, probability), ...).
     link_loss: tuple = ()
@@ -128,6 +132,9 @@ class FaultInjector:
         self.drops = 0
         self.delays = 0
         self.delay_ns_total = 0.0
+        #: Drops per directed link (switch-port granularity); loopback
+        #: traffic is keyed ``(h, h)``.
+        self.drops_by_link: dict[tuple[int, int], int] = {}
         self._streams: dict[tuple[int, int], object] = {}
         self._link_loss = {(s, d): p for (s, d, p) in plan.link_loss}
 
@@ -150,11 +157,11 @@ class FaultInjector:
         plan = self.plan
         for start, end in plan.flaps:
             if start <= now < end:
-                return self._dropped(kind, nbytes, "flap")
+                return self._dropped(src, dst, kind, nbytes, "flap")
         prob = self._link_loss.get((src, dst), plan.loss)
         if prob > 0.0 and (plan.drop_control or kind in DATA_KINDS):
             if self._stream(src, dst).random() < prob:
-                return self._dropped(kind, nbytes, "loss")
+                return self._dropped(src, dst, kind, nbytes, "loss")
         extra = 0.0
         for start, end, factor in plan.degrade:
             if start <= now < end:
@@ -184,13 +191,22 @@ class FaultInjector:
         gen = self._streams.get(key)
         if gen is None:
             # One RNG stream per directed link: traffic on other links
-            # never shifts this link's drop sequence.
-            gen = self.sim.rng.stream(f"faults.{self.scope}.l{src}-{dst}")
+            # never shifts this link's drop sequence.  A host's hairpin
+            # path gets its own ``loopback`` stream so intra-host loss
+            # decisions never perturb wire-link draws (and vice versa).
+            if src == dst:
+                name = f"faults.{self.scope}.loopback{src}"
+            else:
+                name = f"faults.{self.scope}.l{src}-{dst}"
+            gen = self.sim.rng.stream(name)
             self._streams[key] = gen
         return gen
 
-    def _dropped(self, kind: str, nbytes: int, cause: str) -> None:
+    def _dropped(self, src: int, dst: int, kind: str, nbytes: int,
+                 cause: str) -> None:
         self.drops += 1
+        key = (src, dst)
+        self.drops_by_link[key] = self.drops_by_link.get(key, 0) + 1
         tele = self.sim.telemetry
         if tele.enabled:
             reg = tele.scope(self.scope)
@@ -202,11 +218,15 @@ class FaultInjector:
                        kind=kind, cause=cause, size=nbytes)
         return None
 
-    def snapshot(self) -> dict[str, float]:
+    def snapshot(self) -> dict[str, object]:
         return {
             "drops": self.drops,
             "delays": self.delays,
             "delay_ns_total": self.delay_ns_total,
+            "drops_by_link": {
+                f"{s}-{d}": n
+                for (s, d), n in sorted(self.drops_by_link.items())
+            },
         }
 
 

@@ -59,12 +59,21 @@ class Link:
             self.ports[0]: Resource(sim, 1, name=f"{name}.tx0"),
             self.ports[1]: Resource(sim, 1, name=f"{name}.tx1"),
         }
+        #: Delivered traffic only; wire-dropped messages land in the
+        #: ``*_dropped`` counters instead (mirrors ``cluster.Fabric``).
         self.bytes_carried = 0
         self.messages_carried = 0
+        self.messages_dropped = 0
+        self.bytes_dropped = 0
         #: Optional fault layer (see :mod:`repro.faults`); ``None`` keeps
         #: the link lossless.  Link endpoints are identified to the
         #: injector by port index (0 or 1).
         self.faults = None
+
+    @property
+    def lossy(self) -> bool:
+        """Can this link ever drop a message?  (Fault layer attached.)"""
+        return self.faults is not None
 
     @classmethod
     def from_profile(
@@ -111,8 +120,6 @@ class Link:
         yield req
         try:
             yield self.serialization_ns(nbytes)
-            self.bytes_carried += nbytes
-            self.messages_carried += 1
         finally:
             res.release(req)
         # Schedule delivery after propagation without blocking the sender.
@@ -127,8 +134,14 @@ class Link:
                 getattr(payload, "kind", "raw"), nbytes, self.propagation_ns,
             )
             if extra is None:
+                self.messages_dropped += 1
+                self.bytes_dropped += nbytes
                 return  # dropped on the wire: never delivered
             if extra:
+                self.bytes_carried += nbytes
+                self.messages_carried += 1
                 self.sim.call_later(self.propagation_ns + extra, deliver, payload)
                 return
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
         self.sim.call_later(self.propagation_ns, deliver, payload)

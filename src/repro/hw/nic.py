@@ -331,10 +331,11 @@ class Nic:
         qp.bytes_sent += wr.length
 
         if (qp.transport is Transport.RC
-                and getattr(self._fabric, "faults", None) is not None):
-            # The fabric is lossless unless a fault layer is attached, so
-            # ACK-timeout timers are armed only then: fault-free runs see
-            # no extra heap events and stay bit-identical.
+                and getattr(self._fabric, "lossy", False)):
+            # The fabric is lossless unless a fault layer is attached or a
+            # bounded switch buffer can tail-drop, so ACK-timeout timers
+            # are armed only then: loss-free runs see no extra heap events
+            # and stay bit-identical.
             self._arm_ack_timer(qp, psn, retries)
 
         if qp.transport is Transport.UD:

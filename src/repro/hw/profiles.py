@@ -22,6 +22,7 @@ Calibration anchors (paper §2 and §5):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.units import gbit_per_s, gib_per_s
 
@@ -118,6 +119,23 @@ class NicProfile:
 
 
 @dataclass(frozen=True)
+class RxContentionProfile:
+    """Receiver-side fabric contention (opt-in; see ``cluster/fabric.py``).
+
+    When attached to a :class:`~repro.cluster.fabric.Fabric`, every host
+    gets an RX ingress port — a capacity-1 serial resource mirroring the
+    TX side — fed by a switch output queue with ``buffer_bytes`` of
+    buffering.  An N→1 incast then drains at one link's bandwidth instead
+    of N links' worth, and a bounded buffer tail-drops overflow into the
+    RC retransmit machinery.  The default (``None`` buffer) is an
+    unbounded, lossless output queue: contention without drops.
+    """
+
+    #: Per switch-output-port buffer in bytes; ``None`` = unbounded.
+    buffer_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class SystemProfile:
     """A complete two-ish-node testbed description."""
 
@@ -140,6 +158,11 @@ class SystemProfile:
     #: serialization is the main tax).
     cord_serialize_ns: float = 150.0
     cord_kernel_driver_ns: float = 120.0
+    #: Receiver-side fabric contention model.  ``None`` keeps the paper's
+    #: two-node semantics (source-port serialization only); clusters built
+    #: with >2 hosts enable an unbounded-buffer model by default (see
+    #: ``repro.cluster.builder.build_cluster``).
+    rx_contention: Optional[RxContentionProfile] = None
 
     def syscall_cost(self) -> float:
         """Mean syscall round-trip including KPTI if enabled."""

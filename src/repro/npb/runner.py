@@ -21,13 +21,20 @@ def run_npb(
     system: "SystemProfile | str" = "A",
     hosts_n: int = 2,
     seed: int = 11,
+    rx_contention="auto",
 ) -> NpbResult:
-    """Run one benchmark on a fresh cluster; returns its timing."""
+    """Run one benchmark on a fresh cluster; returns its timing.
+
+    ``rx_contention`` passes through to
+    :func:`repro.cluster.build_cluster`: ``"auto"`` (default) models
+    receiver-side fabric contention whenever the cluster has >2 hosts.
+    """
     from repro.sim import Simulator
 
     profile = get_profile(system) if isinstance(system, str) else system
     sim = Simulator(seed=seed)
-    _fabric, hosts = build_cluster(sim, profile, hosts_n)
+    _fabric, hosts = build_cluster(sim, profile, hosts_n,
+                                   rx_contention=rx_contention)
     world = MpiWorld(sim, hosts, config.ranks, transport=transport)
     program, iters = get_benchmark(config.name)(config)
     results = world.run(program)

@@ -1,0 +1,222 @@
+"""N→1 incast driver: many senders stream RDMA writes at one receiver.
+
+The scale-out stress test the source-port-only fabric gets wrong: with
+``rx_contention`` off every sender's port runs at full rate and the
+receiver absorbs N links' worth of bandwidth; with it on (the default
+here) the flows share the receiver's switch output port and the aggregate
+receive rate caps at one link's bandwidth — with a bounded buffer, tail
+drops feed the RC retransmit machinery.
+
+Used by ``benchmarks/bench_incast.py`` (N/dataplane sweep), the
+``repro incast`` CLI subcommand, ``tools/check_incast.py`` and the
+regression tests in ``tests/test_incast.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator, Optional
+
+from repro.cluster import Fabric, build_cluster
+from repro.core.endpoint import Endpoint, connect, make_endpoint
+from repro.errors import ConfigError
+from repro.hw.profiles import RxContentionProfile, get_profile
+from repro.sim import Simulator
+from repro.units import to_gbit_per_s
+from repro.verbs.wr import Opcode, SendWR
+
+#: Start offsets between sender loops (ns per sender index): real incast
+#: senders are not clock-locked, and the skew keeps same-instant resource
+#: grabs (heap-order coin flips) out of the model.
+SENDER_SKEW_NS = 3.0
+
+
+@dataclass(frozen=True)
+class IncastConfig:
+    """One incast run's parameters."""
+
+    system: str = "L"
+    #: Dataplane kind on every endpoint ("bypass"/"cord").
+    dataplane: str = "bypass"
+    senders: int = 8
+    size: int = 64 * 1024
+    msgs_per_sender: int = 32
+    #: Per-sender write window (in-flight cap; clamped to sq_depth).
+    window: int = 16
+    seed: int = 7
+    #: Receiver-side contention: the point of the exercise.  ``False``
+    #: reproduces the legacy source-port-only fabric for comparison.
+    rx_contention: bool = True
+    #: Switch output-port buffer in bytes; ``None`` = unbounded (no drops).
+    buffer_bytes: Optional[int] = None
+    chunk_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if self.senders < 1:
+            raise ConfigError(f"need at least one sender, got {self.senders}")
+        if self.msgs_per_sender < 1:
+            raise ConfigError(
+                f"need at least one message per sender, got {self.msgs_per_sender}"
+            )
+
+    def with_(self, **kwargs) -> "IncastConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class IncastResult:
+    """Aggregate + per-flow outcome of one incast run."""
+
+    config: IncastConfig
+    #: First sender's loop start → last flow completion.
+    duration_ns: float
+    #: Per-sender goodput (payload bits over the flow's own lifetime).
+    flow_goodputs_gbit: tuple
+    #: Peak switch output-queue occupancy at the receiver (0 when
+    #: rx_contention is off).
+    rx_queue_peak_bytes: int
+    #: Messages lost in the fabric (switch tail drops; 0 when unbounded).
+    messages_dropped: int
+    #: RC loss recovery across all NICs.
+    retransmits: int
+    ack_timeouts: int
+
+    @property
+    def bytes_delivered(self) -> int:
+        cfg = self.config
+        return cfg.senders * cfg.msgs_per_sender * cfg.size
+
+    @property
+    def aggregate_gbit(self) -> float:
+        """Payload rate absorbed by the receiver over the whole run."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return to_gbit_per_s(self.bytes_delivered / self.duration_ns)
+
+    @property
+    def per_flow_mean_gbit(self) -> float:
+        flows = self.flow_goodputs_gbit
+        return sum(flows) / len(flows) if flows else 0.0
+
+
+def _flow(
+    sim: Simulator,
+    config: IncastConfig,
+    sender: Endpoint,
+    rcv: Endpoint,
+    spans: list[tuple[float, float]],
+    idx: int,
+) -> Generator:
+    """One sender: windowed signaled RDMA writes into its receiver buffer."""
+    size = config.size
+    total = config.msgs_per_sender
+    window = min(config.window, sender.qp.sq_depth)
+    loop_ns = sender.host.system.cpu.loop_overhead_ns
+    yield 1.0 + SENDER_SKEW_NS * idx
+    t0 = sim.now
+    posted = 0
+    completed = 0
+    while completed < total:
+        while posted < total and posted - completed < window:
+            yield from sender.core.run(loop_ns)
+            wr = SendWR(wr_id=posted, opcode=Opcode.RDMA_WRITE,
+                        addr=sender.buf.addr, length=size,
+                        lkey=sender.mr.lkey, signaled=True,
+                        remote_addr=rcv.buf.addr, rkey=rcv.mr.rkey)
+            yield from sender.post_send(wr)
+            posted += 1
+        cqes = yield from sender.wait_send(16)
+        for cqe in cqes:
+            assert cqe.ok
+            completed += 1
+    spans[idx] = (t0, sim.now)
+
+
+def build_incast(
+    sim: Simulator, config: IncastConfig
+) -> tuple[Fabric, list, list[tuple[Endpoint, Endpoint]]]:
+    """Build the cluster + one connected RC pair per sender.
+
+    Host 0 is the receiver; hosts 1..N each run one sender.  All receiver
+    endpoints share one pinned core (the sink is passive for RDMA writes).
+    """
+    profile = get_profile(config.system)
+    rx = (RxContentionProfile(buffer_bytes=config.buffer_bytes)
+          if config.rx_contention else False)
+    fabric, hosts = build_cluster(
+        sim, profile, config.senders + 1,
+        chunk_bytes=config.chunk_bytes, rx_contention=rx,
+    )
+    buf_bytes = max(config.size, 4096)
+    pairs: list[tuple[Endpoint, Endpoint]] = []
+
+    def setup() -> Generator:
+        rx_core = hosts[0].cpus.pin()
+        for shost in hosts[1:]:
+            s = yield from make_endpoint(shost, config.dataplane,
+                                         buf_bytes=buf_bytes)
+            r = yield from make_endpoint(hosts[0], config.dataplane,
+                                         core=rx_core, buf_bytes=buf_bytes)
+            yield from connect(s, r)
+            pairs.append((s, r))
+
+    sim.run(sim.process(setup()))
+    return fabric, hosts, pairs
+
+
+def _drive(
+    sim: Simulator, config: IncastConfig, fabric: Fabric, hosts, pairs
+) -> IncastResult:
+    spans: list[tuple[float, float]] = [(0.0, 0.0)] * config.senders
+
+    def root() -> Generator:
+        procs = [
+            sim.process(_flow(sim, config, s, r, spans, i),
+                        name=f"incast.s{i + 1}")
+            for i, (s, r) in enumerate(pairs)
+        ]
+        yield sim.all_of(procs)
+
+    sim.run(sim.process(root(), name="incast.root"))
+    t_first = min(t0 for t0, _ in spans)
+    t_last = max(t1 for _, t1 in spans)
+    flow_bytes = config.msgs_per_sender * config.size
+    goodputs = tuple(
+        to_gbit_per_s(flow_bytes / (t1 - t0)) if t1 > t0 else 0.0
+        for t0, t1 in spans
+    )
+    peak = fabric.rx_port(0).peak_queued_bytes if config.rx_contention else 0
+    return IncastResult(
+        config=config,
+        duration_ns=t_last - t_first,
+        flow_goodputs_gbit=goodputs,
+        rx_queue_peak_bytes=peak,
+        messages_dropped=fabric.messages_dropped,
+        retransmits=sum(h.nic.counters.retransmits for h in hosts),
+        ack_timeouts=sum(h.nic.counters.ack_timeouts for h in hosts),
+    )
+
+
+def run_incast(config: IncastConfig) -> IncastResult:
+    """One incast run on a fresh, seeded simulator."""
+    sim = Simulator(seed=config.seed)
+    fabric, hosts, pairs = build_incast(sim, config)
+    return _drive(sim, config, fabric, hosts, pairs)
+
+
+def run_incast_attributed(
+    config: IncastConfig,
+) -> tuple[IncastResult, Simulator]:
+    """One incast run with a full trace kept for span attribution.
+
+    Connection-setup records are cleared so spans cover measured writes
+    only; callers should check ``sim.trace.dropped == 0`` before blaming.
+    """
+    from repro.sim.trace import Trace
+
+    sim = Simulator(seed=config.seed, trace=Trace(enabled=True))
+    sim.telemetry.enabled = True
+    fabric, hosts, pairs = build_incast(sim, config)
+    sim.trace.clear()
+    result = _drive(sim, config, fabric, hosts, pairs)
+    return result, sim

@@ -41,8 +41,11 @@ from repro.telemetry.spans import OpSpan
 #: queue-behind-earlier-ops plus service, split by the end-order sweep.
 #: ``doorbell`` = the tx WQE engine (one WQE at a time, message-rate cap),
 #: ``rx_arrive`` = the rx engine, ``tx_wire`` = the source port
-#: (capacity-1 resource; serialization is FIFO per host).
-SERIAL_STAGES = frozenset({"doorbell", "rx_arrive", "tx_wire"})
+#: (capacity-1 resource; serialization is FIFO per host), ``rx_port`` =
+#: the destination's switch output queue + RX ingress port (emitted only
+#: when the fabric runs with receiver-side contention; fan-in queueing
+#: lands here).
+SERIAL_STAGES = frozenset({"doorbell", "rx_arrive", "tx_wire", "rx_port"})
 
 #: Stages that are pure waiting: the CQE is in host memory, the op is done
 #: at the device, and the clock runs until the application reaps it.  The

@@ -169,6 +169,28 @@ def test_sanitizers_on_jittered_bit_identical(monkeypatch):
            {k: repr(v) for k, v in sanitized.items()}
 
 
+@pytest.mark.parametrize("dataplane", ["bypass", "cord"])
+def test_rx_contention_on_seed_stability(dataplane):
+    """The receiver-side contention model must be exactly as deterministic
+    as the rest of the engine: a contended 4→1 incast reruns bit-identical
+    (including queue peaks and attribution-relevant flow spans), and the
+    two-host golden workloads — where ``rx_contention`` stays off under
+    ``"auto"`` — still reproduce their committed values bit for bit."""
+    from repro.perftest.incast import IncastConfig, run_incast
+
+    cfg = IncastConfig(dataplane=dataplane, senders=4, size=16 * 1024,
+                       msgs_per_sender=10, window=8, seed=7)
+    r1 = run_incast(cfg)
+    r2 = run_incast(cfg)
+    assert repr(r1.duration_ns) == repr(r2.duration_ns)
+    assert tuple(map(repr, r1.flow_goodputs_gbit)) == \
+           tuple(map(repr, r2.flow_goodputs_gbit))
+    assert r1.rx_queue_peak_bytes == r2.rx_queue_peak_bytes > 0
+
+    golden = run_bw(_cfg(dataplane), SIZE)
+    assert repr(golden.duration_ns) == repr(GOLDEN[dataplane]["bw_duration_ns"])
+
+
 def _sweep_point(size: int) -> float:
     return run_bw(_cfg("bypass"), size).duration_ns
 

@@ -1,0 +1,220 @@
+"""N→1 incast regressions: receiver-side contention, drops, attribution.
+
+The tentpole regression suite for the fan-in modeling fix: with
+``rx_contention`` on, an 8→1 incast's aggregate receive rate must cap at
+one link's bandwidth; with it off (the legacy source-port-only fabric)
+the unphysical N-links aggregate is reproduced for comparison.  Also
+covers the bounded switch buffer (tail drops recovered by RC
+retransmission), the ``rx_port`` attribution stage, and the satellite
+fabric fixes (delivered-only counters, chunk packet accounting, loopback
+fault coverage).
+"""
+
+import pytest
+
+from repro.cluster import Fabric, build_cluster
+from repro.errors import HardwareError
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw.profiles import SYSTEM_L, RxContentionProfile, get_profile
+from repro.perftest.incast import IncastConfig, run_incast, run_incast_attributed
+from repro.sim import Simulator
+from repro.telemetry import attribute_spans, build_spans
+from repro.units import to_gbit_per_s
+
+LINK_GBIT = to_gbit_per_s(get_profile("L").nic.link_bw)
+
+
+def _cfg(**kwargs):
+    base = dict(senders=8, size=64 * 1024, msgs_per_sender=12, window=8)
+    base.update(kwargs)
+    return IncastConfig(**base)
+
+
+# -- the tentpole: fan-in is bounded by the receiver's port -----------------------
+
+
+def test_incast_rx_on_caps_aggregate_at_one_link():
+    r = run_incast(_cfg(rx_contention=True))
+    assert r.aggregate_gbit <= LINK_GBIT * 1.02
+    assert r.messages_dropped == 0 and r.retransmits == 0
+    # The queue really formed: at some instant ~7 messages sat waiting.
+    assert r.rx_queue_peak_bytes >= 6 * 64 * 1024
+
+
+def test_incast_rx_off_reproduces_the_fan_in_bug():
+    """The legacy fabric hands the receiver N links' worth of bandwidth."""
+    r = run_incast(_cfg(rx_contention=False))
+    assert r.aggregate_gbit > LINK_GBIT * 2.0
+    assert r.rx_queue_peak_bytes == 0
+
+
+def test_per_flow_goodput_splits_the_link():
+    r4 = run_incast(_cfg(senders=4))
+    r8 = run_incast(_cfg(senders=8))
+    assert r8.per_flow_mean_gbit < r4.per_flow_mean_gbit
+    # Fair-ish share: no flow starves outright.
+    assert min(r8.flow_goodputs_gbit) > 0.3 * max(r8.flow_goodputs_gbit)
+
+
+def test_bounded_buffer_drops_and_rc_recovers():
+    r = run_incast(_cfg(buffer_bytes=1024 * 1024))
+    assert r.messages_dropped > 0
+    assert r.retransmits >= r.messages_dropped
+    assert r.ack_timeouts > 0
+    # Every flow still finished (goodput is measured to its completion).
+    assert all(g > 0 for g in r.flow_goodputs_gbit)
+    assert r.rx_queue_peak_bytes <= 1024 * 1024
+
+
+def test_unbounded_rx_never_arms_recovery():
+    """rx on with an unbounded buffer is lossless: no timers, no retries."""
+    r = run_incast(_cfg(senders=4))
+    assert r.messages_dropped == 0
+    assert r.retransmits == 0 and r.ack_timeouts == 0
+
+
+def test_incast_same_seed_is_bit_identical():
+    a = run_incast(_cfg(senders=4, seed=9))
+    b = run_incast(_cfg(senders=4, seed=9))
+    assert repr(a.duration_ns) == repr(b.duration_ns)
+    assert a.flow_goodputs_gbit == b.flow_goodputs_gbit
+    assert a.rx_queue_peak_bytes == b.rx_queue_peak_bytes
+
+
+# -- attribution: the rx_port stage owns the added latency ------------------------
+
+
+def test_rx_port_stage_explains_added_incast_latency():
+    cfg = _cfg(senders=4, msgs_per_sender=8)
+    on, sim = run_incast_attributed(cfg)
+    off = run_incast(cfg.with_(rx_contention=False))
+    assert sim.trace.dropped == 0
+    blames = attribute_spans(build_spans(sim.trace, op="post_send"))
+    rx_ns = sum(s.duration_ns for b in blames for s in b.stages
+                if s.name.split("#")[0] == "rx_port")
+    added_ns = on.duration_ns - off.duration_ns
+    assert added_ns > 0
+    assert rx_ns >= 0.95 * added_ns
+    # And the stage rides the serial-server queue/service split.
+    queued = [s for b in blames for s in b.stages
+              if s.name.split("#")[0] == "rx_port" and s.queue_ns > 0]
+    assert queued, "expected some rx_port stages to report queueing"
+
+
+def test_rx_contention_off_has_no_rx_port_stage():
+    cfg = _cfg(senders=2, msgs_per_sender=4, rx_contention=False)
+    _r, sim = run_incast_attributed(cfg)
+    blames = attribute_spans(build_spans(sim.trace, op="post_send"))
+    assert blames
+    assert not any(s.name.split("#")[0] == "rx_port"
+                   for b in blames for s in b.stages)
+
+
+# -- satellite fixes --------------------------------------------------------------
+
+
+def test_rx_port_accessor_rejects_when_model_off():
+    sim = Simulator(seed=1)
+    fabric, _hosts = build_cluster(sim, SYSTEM_L, 2)  # auto -> off
+    with pytest.raises(HardwareError):
+        fabric.rx_port(0)
+
+
+def test_chunked_transmit_packet_count_matches_unchunked():
+    """Chunk boundaries must not mint extra packets: a chunk size that is
+    not a multiple of the MTU charges the same total serialization time
+    as the unchunked path, bit for bit."""
+
+    def elapsed(chunk_bytes):
+        sim = Simulator(seed=1)
+        fabric, _hosts = build_cluster(sim, SYSTEM_L, 2,
+                                       chunk_bytes=chunk_bytes)
+        fabric.nic(1).deliver = lambda payload: None
+
+        def proc():
+            t0 = sim.now
+            # 5000 B chunks vs 4096 B MTU: every chunk straddles a packet.
+            yield from fabric.transmit(0, 1, 123_456, None)
+            return sim.now - t0
+
+        out = sim.run(sim.process(proc()))
+        sim.run()
+        return out
+
+    assert repr(elapsed(5000)) == repr(elapsed(None))
+
+
+def test_fabric_counts_only_delivered_traffic():
+    sim = Simulator(seed=1)
+    fabric, _hosts = build_cluster(sim, SYSTEM_L, 2)
+    fabric.inject_faults(FaultPlan(flaps=((0.0, 1e9),)))
+
+    def proc():
+        yield from fabric.transmit(0, 1, 4096, "payload")
+
+    sim.run(sim.process(proc()))
+    sim.run()
+    assert fabric.messages_dropped == 1 and fabric.bytes_dropped == 4096
+    assert fabric.messages_carried == 0 and fabric.bytes_carried == 0
+
+
+def test_link_counts_only_delivered_traffic():
+    from repro.hw.link import Link
+
+    sim = Simulator(seed=1)
+    link = Link(sim, bandwidth=12.5, propagation_ns=250.0, mtu=4096,
+                per_packet_ns=10.0)
+    got = []
+    link.ports[1].deliver = got.append
+    link.faults = FaultInjector(sim, FaultPlan(flaps=((0.0, 1e9),)),
+                                scope="link")
+
+    def proc():
+        yield from link.transmit(link.ports[0], 512, "payload")
+
+    sim.run(sim.process(proc()))
+    sim.run()
+    assert got == []
+    assert link.messages_dropped == 1 and link.bytes_dropped == 512
+    assert link.messages_carried == 0 and link.bytes_carried == 0
+
+
+def test_loopback_traffic_goes_through_fault_hook():
+    """Regression: src==dst used to bypass the injector entirely."""
+    sim = Simulator(seed=1)
+    fabric, _hosts = build_cluster(sim, SYSTEM_L, 1)
+    inj = fabric.inject_faults(FaultPlan(flaps=((0.0, 1e9),)))
+    got = []
+    fabric.nic(0).deliver = got.append
+
+    def proc():
+        yield from fabric.transmit(0, 0, 256, "hairpin")
+
+    sim.run(sim.process(proc()))
+    sim.run()
+    assert got == []
+    assert inj.drops == 1
+    assert inj.snapshot()["drops_by_link"] == {"0-0": 1}
+    assert fabric.messages_dropped == 1 and fabric.messages_carried == 0
+
+
+def test_loopback_uses_dedicated_rng_stream():
+    sim = Simulator(seed=3)
+    inj = FaultInjector(sim, FaultPlan(loss=0.5), scope="fabric")
+    for _ in range(8):
+        inj.on_transmit(0, 0, 0.0, "send", 100, 0.0)
+    assert "faults.fabric.loopback0" in sim.rng._streams
+    assert "faults.fabric.l0-0" not in sim.rng._streams
+
+
+def test_rx_contention_spec_validation():
+    sim = Simulator(seed=1)
+    with pytest.raises(HardwareError):
+        Fabric(sim, SYSTEM_L.nic, propagation_ns=100.0, rx_contention="yes")
+    fabric = Fabric(sim, SYSTEM_L.nic, propagation_ns=100.0,
+                    rx_contention=RxContentionProfile(buffer_bytes=4096))
+    assert fabric.rx_contention.buffer_bytes == 4096
+    assert fabric.lossy  # bounded buffer can drop even without faults
+    off = Fabric(sim, SYSTEM_L.nic, propagation_ns=100.0, rx_contention=True)
+    assert off.rx_contention.buffer_bytes is None
+    assert not off.lossy  # unbounded: nothing can be lost

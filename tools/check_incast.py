@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI gate: incast sweep invariants in ``BENCH_incast.json``.
+
+``benchmarks/bench_incast.py`` records an N→1 fan-in sweep (sender count
+x dataplane) plus two control points.  This gate re-checks the physics
+the receiver-side contention model must honour, on whatever record the
+benchmark produced (committed full-scale or a smoke-scale run pointed at
+by ``REPRO_INCAST_JSON``):
+
+- per-flow mean goodput is non-increasing in the sender count for every
+  dataplane series (flows share one receiver port; more senders can only
+  slow each flow);
+- aggregate receive rate never exceeds one link's bandwidth (small
+  tolerance for the duration being measured first-start → last-finish);
+- unbounded switch buffers never drop and never retransmit;
+- the legacy rx-off control *exceeds* one link's bandwidth (the modeling
+  bug stays demonstrably fixed, not silently re-hidden);
+- the bounded-buffer control drops, and every drop is matched by at
+  least one retransmit (RC recovery engaged).
+
+Exits 1 with a per-violation report when any invariant fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path("results") / "BENCH_incast.json"
+
+#: Aggregate-rate headroom over the link: the run duration spans the
+#: staggered first start to the last completion, so measured aggregates
+#: sit a little below the link rate; anything above this is a fan-in leak.
+AGG_TOL = 1.02
+#: Per-flow monotonicity slack for scheduling noise between runs.
+MONO_TOL = 0.99
+
+
+def check(doc: dict) -> list[str]:
+    problems: list[str] = []
+    link = float(doc["link_gbit"])
+
+    for label, entries in sorted(doc["sweep"].items()):
+        by_n = sorted(entries, key=lambda e: e["senders"])
+        means = [(e["senders"], e["per_flow_mean_gbit"]) for e in by_n]
+        for (n0, m0), (n1, m1) in zip(means, means[1:]):
+            if m1 > m0 / MONO_TOL:
+                problems.append(
+                    f"{label}: per-flow goodput rose {m0:.2f} -> {m1:.2f} "
+                    f"Gbit/s going from {n0} to {n1} senders")
+        for e in by_n:
+            if e["aggregate_gbit"] > link * AGG_TOL:
+                problems.append(
+                    f"{label} N={e['senders']}: aggregate "
+                    f"{e['aggregate_gbit']:.1f} Gbit/s exceeds the "
+                    f"{link:.0f} Gbit/s link")
+            if e["buffer_bytes"] is None and (
+                    e["messages_dropped"] or e["retransmits"]):
+                problems.append(
+                    f"{label} N={e['senders']}: unbounded buffer dropped "
+                    f"{e['messages_dropped']} / retransmitted "
+                    f"{e['retransmits']}")
+
+    legacy = doc["legacy_rx_off"]
+    if legacy["aggregate_gbit"] <= link * AGG_TOL:
+        problems.append(
+            f"legacy rx-off control only reached "
+            f"{legacy['aggregate_gbit']:.1f} Gbit/s — the fan-in bug it "
+            "demonstrates appears to have leaked into the rx-off path")
+
+    bounded = doc["bounded_buffer"]
+    if bounded["messages_dropped"] < 1:
+        problems.append("bounded-buffer control recorded zero drops")
+    elif bounded["retransmits"] < bounded["messages_dropped"]:
+        problems.append(
+            f"bounded-buffer control dropped {bounded['messages_dropped']} "
+            f"but only retransmitted {bounded['retransmits']}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=DEFAULT_PATH, type=Path,
+                        help=f"record to gate (default: {DEFAULT_PATH})")
+    args = parser.parse_args(argv)
+
+    doc = json.loads(args.path.read_text())
+    problems = check(doc)
+    n_points = sum(len(v) for v in doc["sweep"].values()) + 2
+    if problems:
+        print(f"check_incast: {len(problems)} violation(s) in {args.path}:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"check_incast: OK ({n_points} points in {args.path}, "
+          f"link {doc['link_gbit']:.0f} Gbit/s, scale {doc.get('scale', 1)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
