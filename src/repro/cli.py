@@ -363,6 +363,116 @@ def cmd_sanitize_run(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_verify_lint(args) -> int:
+    """Run the PROTO001–PROTO004 protocol lint rules; exit 1 on findings."""
+    from repro.sanitize import format_json, format_text, run_lint
+    from repro.sanitize.findings import PROTO_LINT_RULES
+
+    findings = run_lint(paths=args.paths or None, root=args.root,
+                        rules=args.rules or list(PROTO_LINT_RULES))
+    text = format_json(findings) if args.format == "json" else \
+        format_text(findings)
+    _emit_text(text, args.output)
+    return 1 if findings else 0
+
+
+def _verify_specs(names):
+    from repro.verify import SCENARIOS
+
+    if not names:
+        return list(SCENARIOS.values())
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(SCENARIOS))})")
+    return [SCENARIOS[n] for n in names]
+
+
+def cmd_verify_monitors(args) -> int:
+    """Run scenarios under the PROTO1xx monitors; exit 1 on violations."""
+    import json
+
+    from repro.sanitize import format_json, format_text
+    from repro.verify import ProtocolMonitor
+
+    all_findings = []
+    lines = []
+    for spec in _verify_specs(args.scenario):
+        scen = spec()
+        monitor = ProtocolMonitor(scen.sim, strict=False)
+        scen.sim.attach_monitor(monitor)
+        scen.prepare()
+        scen.go()
+        monitor.finalize()
+        all_findings.extend(monitor.findings)
+        lines.append(f"{scen.name}: {len(monitor.findings)} violation(s), "
+                     f"idle at {scen.sim.now:.0f} ns")
+    if args.format == "json":
+        payload = json.loads(format_json(all_findings))
+        text = json.dumps({"scenarios": lines, "findings": payload}, indent=2)
+    else:
+        text = "\n".join(lines) + "\n" + format_text(all_findings)
+    _emit_text(text, args.output)
+    return 1 if all_findings else 0
+
+
+def cmd_verify_explore(args) -> int:
+    """Exhaustively explore scenario schedules; exit 1 on a counterexample."""
+    import contextlib
+    import json
+
+    from repro.verify import MUTANTS, Explorer
+
+    specs = _verify_specs(args.scenario)
+    if args.mutant and args.mutant not in MUTANTS:
+        raise SystemExit(f"unknown mutant: {args.mutant} "
+                         f"(known: {', '.join(sorted(MUTANTS))})")
+    mutant_cm = MUTANTS[args.mutant].apply() if args.mutant else \
+        contextlib.nullcontext()
+    results = []
+    with mutant_cm:
+        for spec in specs:
+            explorer = Explorer(spec, max_schedules=args.max_schedules,
+                                dedup=not args.no_dedup,
+                                artifacts_dir=args.artifacts)
+            results.append(explorer.explore())
+
+    bad = [r for r in results if not r.ok]
+    if args.format == "json":
+        text = json.dumps([
+            {
+                "scenario": r.scenario, "schedules_run": r.schedules_run,
+                "pruned": r.pruned, "max_depth": r.max_depth,
+                "exhausted": r.exhausted, "ok": r.ok,
+                "counterexample": None if r.ok else {
+                    "schedule": list(r.counterexample.schedule),
+                    "rule": r.counterexample.rule,
+                    "message": r.counterexample.message,
+                    "trace": r.counterexample.trace_path,
+                    "artifact": r.counterexample.schedule_path,
+                },
+            }
+            for r in results
+        ], indent=2)
+    else:
+        lines = []
+        for r in results:
+            status = "clean" if r.ok else \
+                f"VIOLATION {r.counterexample.rule}"
+            tail = "exhausted" if r.exhausted else "capped"
+            lines.append(f"{r.scenario}: {status} — {r.schedules_run} "
+                         f"schedule(s), {r.pruned} pruned, depth "
+                         f"{r.max_depth}, {tail}")
+            if not r.ok:
+                lines.append(f"  schedule: {list(r.counterexample.schedule)}")
+                lines.append(f"  {r.counterexample.message}")
+                if r.counterexample.trace_path:
+                    lines.append(f"  trace: {r.counterexample.trace_path}")
+        text = "\n".join(lines)
+    _emit_text(text, args.output)
+    return 1 if bad else 0
+
+
 def cmd_profiles(_args) -> int:
     rows = []
     for name, prof in sorted(PROFILES.items()):
@@ -551,6 +661,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_san_run.add_argument("--output", default=None,
                            help="write to this file instead of stdout")
     p_san_run.set_defaults(func=cmd_sanitize_run)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="protocol verifier: lint, invariant monitors, model checker",
+        description="RC protocol verification: `lint` runs the PROTO001-"
+                    "PROTO004 static rules; `monitors` runs the closed "
+                    "scenarios under the PROTO101-PROTO107 runtime "
+                    "invariant monitors; `explore` exhaustively model-"
+                    "checks every schedule/fault interleaving of those "
+                    "scenarios.  All exit non-zero when a violation or "
+                    "counterexample is found.",
+    )
+    ver_sub = p_ver.add_subparsers(dest="verify_command", required=True)
+
+    p_ver_lint = ver_sub.add_parser("lint", help="protocol-aware lint rules")
+    p_ver_lint.add_argument("paths", nargs="*",
+                            help="files/directories to lint (default: src, "
+                                 "benchmarks, tests, tools under --root)")
+    p_ver_lint.add_argument("--root", default=".",
+                            help="repo root for the default lint set")
+    p_ver_lint.add_argument("--rules", nargs="+", metavar="PROTOxxx",
+                            default=None,
+                            help="only report these rule ids "
+                                 "(default: PROTO001-PROTO004)")
+    p_ver_lint.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    p_ver_lint.add_argument("--output", default=None,
+                            help="write to this file instead of stdout")
+    p_ver_lint.set_defaults(func=cmd_verify_lint)
+
+    p_ver_mon = ver_sub.add_parser(
+        "monitors", help="run scenarios under the runtime invariant monitors"
+    )
+    p_ver_mon.add_argument("--scenario", nargs="+", default=None,
+                           help="scenario names (default: all)")
+    p_ver_mon.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    p_ver_mon.add_argument("--output", default=None,
+                           help="write to this file instead of stdout")
+    p_ver_mon.set_defaults(func=cmd_verify_monitors)
+
+    p_ver_exp = ver_sub.add_parser(
+        "explore", help="exhaustive small-scope schedule exploration"
+    )
+    p_ver_exp.add_argument("--scenario", nargs="+", default=None,
+                           help="scenario names (default: all)")
+    p_ver_exp.add_argument("--max-schedules", type=int, default=20000,
+                           help="per-scenario schedule cap")
+    p_ver_exp.add_argument("--no-dedup", action="store_true",
+                           help="disable canonical-state pruning")
+    p_ver_exp.add_argument("--mutant", default=None,
+                           help="apply this seeded protocol mutant first "
+                                "(teeth check: exploration must then fail)")
+    p_ver_exp.add_argument("--artifacts", default=None, metavar="DIR",
+                           help="write counterexample trace + schedule "
+                                "artifacts to this directory")
+    p_ver_exp.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    p_ver_exp.add_argument("--output", default=None,
+                           help="write to this file instead of stdout")
+    p_ver_exp.set_defaults(func=cmd_verify_explore)
 
     p_prof = sub.add_parser("profiles", help="show the calibrated testbeds")
     p_prof.set_defaults(func=cmd_profiles)

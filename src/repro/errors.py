@@ -66,3 +66,11 @@ class MPIError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid benchmark or system configuration."""
+
+
+class ProtocolViolation(ReproError):
+    """A runtime RC-protocol invariant (PROTO1xx) was violated.
+
+    Raised by :class:`repro.verify.monitors.ProtocolMonitor` in strict
+    mode; the message carries the rule id and the offending QP/WR so the
+    explorer can turn it into a counterexample."""

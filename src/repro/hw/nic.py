@@ -27,7 +27,7 @@ from repro.errors import HardwareError, MemoryAccessError, VerbsError
 from repro.hw.profiles import NicProfile
 from repro.sim.store import Store
 from repro.verbs.qp import QPState, QueuePair, Transport
-from repro.verbs.wr import CQE, Opcode, RecvWR, SendWR, WCStatus, WireMessage
+from repro.verbs.wr import CQE, Opcode, Psn, RecvWR, SendWR, WCStatus, WireMessage
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -173,6 +173,12 @@ class Nic:
 
     def register_qp(self, qp: QueuePair) -> None:
         self._qps[qp.qpn] = qp
+        mon = self.sim._monitor
+        if mon is not None:
+            # Wire the QP's own hook (modify() has no sim reference) and
+            # let the monitor learn the (host, qpn, cq) identity mapping.
+            qp._monitor = mon
+            mon.register_qp(self.host_id, qp)
 
     def lookup_qp(self, qpn: int) -> Optional[QueuePair]:
         return self._qps.get(qpn)
@@ -211,6 +217,9 @@ class Nic:
             reg = tele.scope(self._scope)
             reg.counter("nic.tx.posted").inc(wr.length, key=wr.opcode.value)
             reg.histogram("nic.txq.occupancy").observe(len(self._tx_store.items))
+        mon = self.sim._monitor
+        if mon is not None:
+            mon.on_post_send(qp, wr, psn)
         self._tx_store.put((qp, wr, psn, 0))
 
     def hw_post_recv(self, qp: QueuePair, wr: RecvWR) -> None:
@@ -221,6 +230,9 @@ class Nic:
             self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=True)
         qp.rq.append(wr)
         qp.recvs_posted += 1
+        mon = self.sim._monitor
+        if mon is not None:
+            mon.on_post_recv(qp, wr)
 
     def hw_post_srq_recv(self, srq, wr: RecvWR) -> None:
         """Accept a recv WQE into a shared receive queue."""
@@ -229,6 +241,9 @@ class Nic:
             assert self.mr_table is not None
             self.mr_table.check_local(wr.lkey, wr.addr, wr.length, write=True)
         srq.push(wr)
+        mon = self.sim._monitor
+        if mon is not None:
+            mon.on_post_srq_recv(srq, wr)
 
     # -- send path ---------------------------------------------------------------
 
@@ -253,9 +268,28 @@ class Nic:
         self, qp: QueuePair, wr: SendWR, psn: int, retries: int = 0
     ) -> Generator["Event", object, None]:
         """Move one message from local memory onto the wire."""
-        if retries and (qp.outstanding.get(psn) is not wr
-                        or qp.state is not QPState.RTS):
-            return  # acked or flushed while the retry sat in the TX queue
+        if qp.state is not QPState.RTS:
+            if retries:
+                return  # flushed while the retry sat in the TX queue
+            # First transmission of a WQE fetched after the QP left RTS:
+            # the WR was posted (and counted) before the transition, so
+            # the error flush already zeroed sq_outstanding but could not
+            # see this entry — it was still in the shared TX store, not in
+            # ``outstanding``.  Transmitting now would resurrect it on an
+            # errored QP (double completion, negative occupancy); instead
+            # it is flushed through the CQ like the rest of the SQ (ERROR)
+            # or silently reclaimed (RESET), exactly as hardware fetching
+            # a WQE on a dead QP would.  Found by `repro verify explore`.
+            if qp.state is QPState.ERROR:
+                yield from self._post_cqe(
+                    qp.send_cq,
+                    CQE(wr_id=wr.wr_id, status=WCStatus.WR_FLUSH_ERR,
+                        opcode=wr.opcode, byte_len=0, qp_num=qp.qpn,
+                        span=wr.span),
+                )
+            return
+        if retries and qp.outstanding.get(psn) is not wr:
+            return  # acked while the retry sat in the TX queue
         trace = self.sim.trace
         if trace.enabled and wr.span is not None:
             trace.emit(self.sim.now, "span", "mark", span=wr.span,
@@ -381,40 +415,75 @@ class Nic:
             return
 
         if msg.transport == "RC":
-            # Enforce per-QP PSN order at the responder.
-            if msg.psn > qp.expected_psn:
-                qp.reorder[msg.psn] = msg
-                return
-            if msg.psn < qp.expected_psn:
-                # Duplicate (retry of a message whose response was lost);
-                # answer again without re-executing side effects.
-                if msg.kind in ("send", "write"):
-                    yield from self._send_ack(qp, msg, "ack")
-                elif msg.kind == "read_req":
-                    # Reads are idempotent: just serve the data again.
-                    self.sim.spawn(self._exec_read_req(qp, msg),
-                                   name=self._ex_read_name)
-                elif msg.kind == "atomic":
-                    # Atomics are not idempotent: replay the cached
-                    # original value instead of re-executing the RMW.
-                    cached = qp.atomic_cache.get(msg.psn)
-                    if cached is not None:
-                        self.sim.spawn(self._exec_atomic_resp(qp, msg, cached),
-                                       name=self._ex_atomic_name)
-                return
-            if not self._accept(qp, msg):
-                # RNR-NAKed: the PSN stays expected; the retry will redeliver.
-                return
-            qp.expected_psn += 1
-            while qp.expected_psn in qp.reorder:
-                held = qp.reorder.pop(qp.expected_psn)
-                if not self._accept(qp, held):
-                    # Put it back; the initiator will retransmit this PSN.
-                    qp.reorder[qp.expected_psn] = held
-                    return
-                qp.expected_psn += 1
+            yield from self._rx_rc(qp, msg)
+            mon = self.sim._monitor
+            if mon is not None:
+                mon.on_responder_update(qp)
         else:
             self._accept(qp, msg)
+
+    def _rx_rc(
+        self, qp: QueuePair, msg: WireMessage
+    ) -> Generator["Event", object, None]:
+        """RC responder: enforce per-QP PSN acceptance order.
+
+        All PSN comparisons are 24-bit serial arithmetic (:class:`Psn`):
+        "ahead" means the forward distance from ``expected_psn`` is below
+        half the space, anything else is a duplicate — so the ordering
+        logic survives the wrap point a raw ``<``/``>`` would not.
+        """
+        order = Psn.cmp(msg.psn, qp.expected_psn)
+        if order > 0:
+            qp.reorder[msg.psn] = msg
+            return
+        if order < 0:
+            # Duplicate (retry of a message whose response was lost);
+            # answer again without re-executing side effects.
+            if msg.kind in ("send", "write"):
+                yield from self._send_ack(qp, msg, "ack")
+            elif msg.kind == "read_req":
+                # Reads are idempotent: just serve the data again.
+                self.sim.spawn(self._exec_read_req(qp, msg),
+                               name=self._ex_read_name)
+            elif msg.kind == "atomic":
+                self._replay_atomic(qp, msg)
+            return
+        if not self._accept(qp, msg):
+            # RNR-NAKed: the PSN stays expected; the retry will redeliver.
+            return
+        self._advance_expected_psn(qp)
+        while qp.expected_psn in qp.reorder:
+            held = qp.reorder.pop(qp.expected_psn)
+            if not self._accept(qp, held):
+                # Put it back; the initiator will retransmit this PSN.
+                qp.reorder[qp.expected_psn] = held
+                return
+            self._advance_expected_psn(qp)
+
+    def _advance_expected_psn(self, qp: QueuePair) -> None:
+        """Commit acceptance of the current expected PSN (24-bit wrap).
+
+        The one place the responder's ``expected_psn`` moves; it only ever
+        moves forward by one (PROTO102 asserts exactly this at runtime).
+        """
+        qp.expected_psn = Psn.next(qp.expected_psn)
+
+    def _replay_atomic(self, qp: QueuePair, msg: WireMessage) -> None:
+        """Answer a duplicate atomic from the replay cache — never re-execute.
+
+        Atomics are not idempotent, so the RMW ran exactly once, at first
+        acceptance; a retransmission whose response was lost gets the
+        *cached original value* back (PROTO106).  A duplicate of a PSN
+        already evicted from the 64-deep cache gets **no reply at all**:
+        the initiator keeps retrying into RETRY_EXC_ERR rather than ever
+        seeing a re-executed (wrong) value — correctness over liveness,
+        matching real HCAs' bounded resources (IBTA C9-150: the responder
+        is only required to replay what its resources still hold).
+        """
+        cached = qp.atomic_cache.get(msg.psn)
+        if cached is not None:
+            self.sim.spawn(self._exec_atomic_resp(qp, msg, cached),
+                           name=self._ex_atomic_name)
 
     def _accept(self, qp: QueuePair, msg: WireMessage) -> bool:
         """Synchronous in-order acceptance of a request at the responder:
@@ -600,6 +669,11 @@ class Nic:
         self, qp: QueuePair, msg: WireMessage, original: int
     ) -> Generator["Event", object, None]:
         """Return the pre-op value to the initiator."""
+        mon = self.sim._monitor
+        if mon is not None:
+            # Every response for this (qpn, psn) must carry the same value
+            # (PROTO106): first execution and cache replays alike land here.
+            mon.on_atomic_response(qp, msg.psn, original)
         yield self.profile.ack_ns
         resp = WireMessage(
             kind="atomic_resp",
@@ -767,6 +841,11 @@ class Nic:
         """
         qp._retx_seq += 1
         qp.retx_epoch[psn] = qp._retx_seq  # invalidate any armed timer
+        mon = self.sim._monitor
+        if mon is not None:
+            # Checked here rather than at the call sites so any retry path
+            # (ACK timeout, RNR NAK, or a future one) is bounded (PROTO105).
+            mon.on_retransmit(qp, psn, retries)
         self.counters.retransmits += 1
         tele = self.sim.telemetry
         if tele.enabled:
@@ -814,6 +893,9 @@ class Nic:
             retries=request.retries,
             span=request.span,
         )
+        mon = self.sim._monitor
+        if mon is not None:
+            mon.on_ack_sent(qp, ack)
         trace = self.sim.trace
         if trace.enabled and request.span is not None:
             trace.emit(self.sim.now, "span", "mark", span=request.span,

@@ -26,7 +26,24 @@ RULES: dict[str, tuple[str, str]] = {
     "SIM101": ("", "same-timestamp outcome depends on heap-insertion seq"),
     "SIM102": ("", "rng stream-discipline violation"),
     "SIM103": ("", "event dispatched before the current simulated time"),
+    # PROTO0xx are protocol-aware static (lint) rules; PROTO1xx are the
+    # runtime invariant monitors in repro.verify.monitors (no pragma:
+    # a protocol violation is a bug, fix the code).
+    "PROTO001": ("allow-qp-state-write", "QP state assigned outside QueuePair.modify()"),
+    "PROTO002": ("allow-raw-psn-arith", "raw arithmetic/compare on a PSN bypassing the Psn helper"),
+    "PROTO003": ("allow-no-cqe-path", "completion-consuming function with no CQE-posting call"),
+    "PROTO004": ("allow-unguarded-monitor", "protocol-monitor hook not behind an `is None` guard"),
+    "PROTO101": ("", "completion discipline: signaled WR must complete exactly once"),
+    "PROTO102": ("", "responder PSN discipline: expected_psn rewound or ACK for unaccepted PSN"),
+    "PROTO103": ("", "QP state machine: illegal transition or out-of-modify() state write"),
+    "PROTO104": ("", "error flush: flush CQE before ERROR or out of SQ order"),
+    "PROTO105": ("", "retransmission bound: retries exceed retry_cnt/rnr_retries"),
+    "PROTO106": ("", "atomic exactly-once: replayed response differs from original value"),
+    "PROTO107": ("", "SQ occupancy out of [0, sq_depth]"),
 }
+
+#: Rule-id prefixes of the protocol-aware static rules (``repro verify lint``).
+PROTO_LINT_RULES = tuple(r for r in RULES if r.startswith("PROTO0"))
 
 #: pragma name -> rule id it suppresses.
 PRAGMAS: dict[str, str] = {

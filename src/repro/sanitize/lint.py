@@ -1,4 +1,4 @@
-"""AST determinism linter: the SIM001–SIM006 rulepack.
+"""AST determinism linter: the SIM001–SIM006 and PROTO001–PROTO004 rulepacks.
 
 Walks ``src/``, ``benchmarks/`` and ``tests/`` and reports constructs that
 can break the repo's determinism contract (see DESIGN.md "Determinism
@@ -22,6 +22,26 @@ contract & sanitizers"):
   one branch per site.
 - **SIM006** — a class in ``repro/sim`` holding per-event state without
   ``__slots__``.
+
+The PROTO0xx rules are *protocol-aware*: they guard the RC transport
+contract the runtime monitors (:mod:`repro.verify.monitors`) check
+dynamically, at the places where the static shape is already wrong:
+
+- **PROTO001** — a QP ``state``/``_state`` assignment outside
+  ``QueuePair.__init__``/``modify()``.  Direct writes skip the legality
+  check and the ERROR/RESET flush, the exact bug class PROTO103 catches
+  at runtime.
+- **PROTO002** — raw ``+``/``-`` arithmetic or ``<``/``>`` ordering on a
+  PSN-typed expression (``psn``/``sq_psn``/``expected_psn``) outside the
+  :class:`repro.verbs.wr.Psn` helper.  PSNs live in a 24-bit circular
+  space; raw integer math silently diverges at the wrap point.
+- **PROTO003** — a function that consumes an in-flight WR (pops from
+  ``outstanding`` or decrements ``sq_outstanding``) but contains no
+  completion-posting machinery (``_post_cqe``/``push``/``spawn``): a
+  completion path that can retire work without ever emitting a CQE.
+- **PROTO004** — a protocol-monitor hook call (``mon.on_*``,
+  ``register_qp``) not dominated by its ``is None`` guard; monitors-off
+  runs must cost exactly one branch per site.
 
 Suppression is per-line via ``# sim: allow-<rule>(reason)`` pragmas; a
 pragma with no reason, an unknown pragma and a pragma that suppresses
@@ -55,7 +75,14 @@ _HOOK_IMPL_FRAGMENTS = (
     os.path.join("repro", "telemetry", ""),
     os.path.join("repro", "faults.py"),
     os.path.join("repro", "sanitize", ""),
+    os.path.join("repro", "verify", ""),
 )
+
+#: The one module allowed raw PSN arithmetic (it implements the helper).
+_PSN_MODULE = os.path.join("repro", "verbs", "wr.py")
+
+#: Attribute / name spellings treated as PSN-typed for PROTO002.
+_PSN_FIELDS = frozenset({"psn", "sq_psn", "expected_psn"})
 
 _WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
@@ -162,12 +189,14 @@ class _Visitor(ast.NodeVisitor):
         self._scopes: list[_Scope] = [_Scope()]
         self._enabled_depth = 0  # `if x.enabled:` Ifs currently dominating
         self._notnone_depth = 0  # `if faults is not None:` Ifs dominating
-        self._hook_lines: set[int] = set()  # SIM005 dedupe for chained calls
+        self._hook_lines: set[int] = set()  # SIM005/PROTO004 dedupe
         self._class_stack: list[ast.ClassDef] = []
+        self._func_stack: list[str] = []
 
         self.in_src = f"{os.sep}repro{os.sep}" in norm_path or \
             norm_path.startswith(f"repro{os.sep}")
         self.is_rng_module = norm_path.endswith(_RNG_MODULE)
+        self.is_psn_module = norm_path.endswith(_PSN_MODULE)
         self.in_sim = f"{os.sep}repro{os.sep}sim{os.sep}" in norm_path
         self.hook_impl = any(
             frag and frag in norm_path for frag in _HOOK_IMPL_FRAGMENTS
@@ -202,11 +231,97 @@ class _Visitor(ast.NodeVisitor):
         scope = _Scope()
         self._collect_set_names(node, scope)
         self._scopes.append(scope)
+        self._func_stack.append(node.name)
+        if self.in_src:
+            self._check_no_cqe_path(node)
         self.generic_visit(node)
+        self._func_stack.pop()
         self._scopes.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    # -- PROTO003: completion path with no CQE-posting machinery -----------------
+
+    def _check_no_cqe_path(self, node) -> None:
+        consumes: Optional[ast.AST] = None
+        posts = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                parts = _dotted(sub.func)
+                if parts[-2:] == ["outstanding", "pop"]:
+                    consumes = consumes or sub
+                if "_post_cqe" in parts or (
+                    parts and parts[-1] in ("push", "spawn")
+                ):
+                    posts = True
+            elif isinstance(sub, ast.AugAssign) and isinstance(sub.op, ast.Sub) \
+                    and isinstance(sub.target, ast.Attribute) \
+                    and sub.target.attr == "sq_outstanding":
+                consumes = consumes or sub
+        if consumes is not None and not posts:
+            self.report(
+                "PROTO003", consumes,
+                f"`{node.name}` retires in-flight work (outstanding.pop / "
+                "sq_outstanding -= 1) but never posts a CQE",
+                "every consumed WR must complete: call _post_cqe (or spawn "
+                "the generator that does)",
+            )
+
+    # -- PROTO001 / PROTO002: QP state writes and raw PSN math -------------------
+
+    @staticmethod
+    def _is_psn_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in _PSN_FIELDS
+        if isinstance(node, ast.Attribute):
+            return node.attr in _PSN_FIELDS
+        return False
+
+    def _in_qp_modify(self) -> bool:
+        return bool(
+            self._class_stack
+            and self._class_stack[-1].name == "QueuePair"
+            and self._func_stack
+            and self._func_stack[-1] in ("__init__", "modify")
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) \
+                    and target.attr in ("state", "_state") \
+                    and "QPState" in set(_names_in(node.value)) \
+                    and not self._in_qp_modify():
+                self.report(
+                    "PROTO001", node,
+                    f"direct QP `{target.attr}` assignment outside "
+                    "QueuePair.modify()",
+                    "go through qp.modify(new_state): it validates the "
+                    "transition and runs the ERROR/RESET flush",
+                )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self.in_src and not self.is_psn_module \
+                and isinstance(node.op, (ast.Add, ast.Sub)) \
+                and (self._is_psn_expr(node.left) or self._is_psn_expr(node.right)):
+            self.report(
+                "PROTO002", node,
+                f"raw PSN arithmetic `{ast.unparse(node)}`",
+                "PSNs are 24-bit circular: use Psn.next/add/delta/wrap",
+            )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.in_src and not self.is_psn_module \
+                and isinstance(node.op, (ast.Add, ast.Sub)) \
+                and self._is_psn_expr(node.target):
+            self.report(
+                "PROTO002", node,
+                f"raw PSN arithmetic `{ast.unparse(node)}`",
+                "PSNs are 24-bit circular: use Psn.next/add/delta/wrap",
+            )
+        self.generic_visit(node)
 
     # -- SIM001: global RNG -----------------------------------------------------
 
@@ -287,7 +402,21 @@ class _Visitor(ast.NodeVisitor):
         is_fault = method.startswith("on_") and (
             "faults" in receiver or "injector" in receiver
         )
-        if not (is_tele or is_trace or is_fault):
+        is_monitor = (method.startswith("on_") or method == "register_qp") and (
+            "_monitor" in receiver or receiver[-1] in ("mon", "monitor")
+        )
+        if not (is_tele or is_trace or is_fault or is_monitor):
+            return
+        if is_monitor:
+            if self._notnone_depth == 0 and node.lineno not in self._hook_lines:
+                self._hook_lines.add(node.lineno)
+                self.report(
+                    "PROTO004", node,
+                    f"monitor hook `{'.'.join(parts)}(...)` not dominated by "
+                    "an `is None` guard branch",
+                    "bind `mon = ...._monitor` and wrap the site in a single "
+                    "`if mon is not None:` block (one branch when off)",
+                )
             return
         guarded = self._notnone_depth if is_fault else self._enabled_depth
         if guarded == 0 and node.lineno not in self._hook_lines:
@@ -337,6 +466,15 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Compare(self, node: ast.Compare) -> None:
         sides = (node.left, *node.comparators)
+        if self.in_src and not self.is_psn_module \
+                and any(isinstance(op, (ast.Lt, ast.Gt, ast.LtE, ast.GtE))
+                        for op in node.ops) \
+                and sum(1 for s in sides if self._is_psn_expr(s)) >= 2:
+            self.report(
+                "PROTO002", node,
+                f"raw PSN ordering compare `{ast.unparse(node)}`",
+                "24-bit serial order: use Psn.cmp(a, b) (half-window rule)",
+            )
         if self.in_src and \
                 any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops) and \
                 not any(self._is_inf_sentinel(s) for s in sides):

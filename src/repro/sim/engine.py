@@ -33,9 +33,13 @@ from __future__ import annotations
 
 import heapq
 import os
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.choice import Chooser
+    from repro.verify.monitors import ProtocolMonitor
 from repro.sanitize.runtime import env_sanitize
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import MiniProcess, Process, ProcessGenerator, _Resume
@@ -60,6 +64,13 @@ class _Callback:
 
 def _env_fastpath() -> bool:
     return os.environ.get("REPRO_SIM_FASTPATH", "1").lower() not in ("0", "false", "no")
+
+
+def _env_monitors() -> bool:
+    """Is ``REPRO_VERIFY_MONITORS`` switched on in the environment?"""
+    return os.environ.get("REPRO_VERIFY_MONITORS", "").lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 class Simulator:
@@ -87,12 +98,22 @@ class Simulator:
         (default) reads ``REPRO_SANITIZE`` from the environment (off
         unless truthy).  Off costs nothing on the hot loop: ``run()``
         only picks the instrumented loop when a sanitizer is attached.
+    monitors:
+        Attach the :mod:`repro.verify` protocol invariant monitors
+        (PROTO101–PROTO107: exactly-once CQEs, responder PSN discipline,
+        legal-only QP transitions, flush ordering, bounded retries,
+        atomic replay consistency); ``None`` (default) reads
+        ``REPRO_VERIFY_MONITORS`` from the environment.  Off costs one
+        ``is None`` branch per hook site; runs are bit-identical either
+        way (monitors only observe).  Env-attached monitors are strict:
+        the first violation raises.
     """
 
     __slots__ = (
         "_now", "_queue", "_seq", "_active_process", "_fastpath",
         "_resume_pool", "_cb_pool", "_sanitize", "_time_hooks",
-        "_state_providers", "rng", "trace", "telemetry",
+        "_state_providers", "_monitor", "_chooser", "rng", "trace",
+        "telemetry",
     )
 
     def __init__(
@@ -102,6 +123,7 @@ class Simulator:
         fastpath: Optional[bool] = None,
         telemetry: Optional[Telemetry] = None,
         sanitize: Optional[bool] = None,
+        monitors: Optional[bool] = None,
     ):
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, object]] = []
@@ -121,6 +143,16 @@ class Simulator:
 
             self._sanitize = RuntimeSanitizer(self)
             self.rng._sanitize = self._sanitize
+        #: Protocol invariant monitor (repro.verify.monitors); component
+        #: hook sites check ``sim._monitor is not None`` — one branch off.
+        self._monitor: Optional["ProtocolMonitor"] = None
+        if monitors if monitors is not None else _env_monitors():
+            from repro.verify.monitors import ProtocolMonitor
+
+            self._monitor = ProtocolMonitor(self, strict=True)
+        #: Deterministic choice-point hook (repro.verify.choice); when
+        #: attached, run() uses the instrumented _run_chosen loop.
+        self._chooser: Optional["Chooser"] = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -256,6 +288,29 @@ class Simulator:
         """
         self._time_hooks.append(hook)
 
+    def attach_monitor(self, monitor: "Optional[ProtocolMonitor]") -> None:
+        """Attach a protocol invariant monitor (see :mod:`repro.verify`).
+
+        Component hook sites (CQ push, QP modify, the NIC's post/dispatch/
+        retransmit paths) consult ``sim._monitor`` behind an ``is None``
+        guard, so attaching after construction is equivalent to the
+        ``monitors=True`` constructor path minus strictness defaults.
+        """
+        self._monitor = monitor
+
+    def attach_chooser(self, chooser: "Optional[Chooser]") -> None:
+        """Attach a deterministic choice-point hook for model checking.
+
+        With a chooser attached, :meth:`run` delegates to the instrumented
+        :meth:`_run_chosen` loop: whenever more than one heap record shares
+        the minimal ``(time, priority)``, the chooser picks which one
+        dispatches next (index into the FIFO-ordered front).  Index 0 at
+        every choice point reproduces the default sequence-number order
+        exactly, so a chooser that always answers 0 is bit-identical to no
+        chooser at all.  Detach with ``attach_chooser(None)``.
+        """
+        self._chooser = chooser
+
     def register_state_provider(self, provider: Callable[[], tuple]) -> None:
         """Register a component-state fingerprint source for cycle probes.
 
@@ -354,6 +409,8 @@ class Simulator:
         - an :class:`Event` — run until the event is processed and return its
           value (raising its exception if it failed).
         """
+        if self._chooser is not None:
+            return self._run_chosen(until)
         if self._sanitize is not None:
             return self._run_sanitized(until)
         stop_event: Optional[Event] = None
@@ -504,6 +561,96 @@ class Simulator:
                     san.in_dispatch = False
         finally:
             san.finish()
+
+    def _run_chosen(self, until: "float | Event | None" = None) -> object:
+        """Instrumented twin of :meth:`run` used when a chooser is attached.
+
+        Same semantics, but whenever several heap records share the minimal
+        ``(time, priority)`` — a genuine simultaneity the default loop
+        breaks by insertion order — the whole tied front is popped and the
+        chooser selects which record dispatches; the rest are pushed back
+        with their original keys (order-preserving, so later choice points
+        see the same FIFO front).  A chooser answering 0 everywhere
+        reproduces the default schedule bit-for-bit.  Kept separate so the
+        chooser-off hot loop in :meth:`run` stays branch-free.
+        """
+        chooser = self._chooser
+        assert chooser is not None
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value  # type: ignore[misc]
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        resume_pool = self._resume_pool
+        cb_pool = self._cb_pool
+        while True:
+            if stop_event is not None and stop_event.callbacks is None:
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value  # type: ignore[misc]
+            if not queue:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "run() stop event will never be triggered: no events left"
+                    )
+                if deadline != float("inf"):
+                    self._now = deadline
+                return None
+            if queue[0][0] > deadline:
+                self._now = deadline
+                return None
+
+            record = heappop(queue)
+            when, prio = record[0], record[1]
+            # Gather the tied front: heap pops of equal keys come out in
+            # sequence order, i.e. exactly the default dispatch order.
+            if queue and not queue[0][0] > when and queue[0][1] == prio:
+                front = [record]
+                while queue and not queue[0][0] > when and queue[0][1] == prio:
+                    front.append(heappop(queue))
+                idx = chooser.choose(len(front), front)
+                record = front.pop(idx)
+                for rec in front:
+                    heappush(queue, rec)
+            event = record[3]
+            self._now = when
+            cls = event.__class__
+            if cls is _Resume:
+                process = event.process
+                event.process = None
+                resume_pool.append(event)
+                if process is not None:
+                    process._step(None, None)
+                continue
+            if cls is _Callback:
+                fn, arg = event.fn, event.arg
+                event.fn = event.arg = None
+                cb_pool.append(event)
+                fn(arg)
+                continue
+
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     def run_until_idle(self) -> None:
         """Drain every pending event (alias of ``run(None)`` for readability)."""

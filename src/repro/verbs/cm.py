@@ -48,7 +48,7 @@ class _ConnReq:
 class CmListener:
     """``rdma_listen`` analogue bound to (host, service_id)."""
 
-    def __init__(self, host: "Host", service_id: int):
+    def __init__(self, host: "Host", service_id: int) -> None:
         key = (host.host_id, service_id)
         if key in _registry:
             raise KernelError(

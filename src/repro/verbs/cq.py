@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class CompletionQueue:
     """``ibv_cq`` analogue."""
 
-    def __init__(self, sim: "Simulator", depth: int = 4096, name: str = "cq"):
+    def __init__(self, sim: "Simulator", depth: int = 4096, name: str = "cq") -> None:
         if depth <= 0:
             raise CQError(f"CQ depth must be positive: {depth}")
         self.sim = sim
@@ -51,6 +51,9 @@ class CompletionQueue:
         cqe.timestamp = self.sim.now
         self.entries.append(cqe)
         self.total_cqes += 1
+        mon = self.sim._monitor
+        if mon is not None:
+            mon.on_cqe(self, cqe)
         waiters, self._nonempty_waiters = self._nonempty_waiters, []
         for ev in waiters:
             ev.succeed(self.sim.now)

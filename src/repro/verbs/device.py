@@ -40,7 +40,7 @@ CTRL_KERNEL_NS = 900.0
 class Device:
     """``ibv_device`` analogue: one per host NIC."""
 
-    def __init__(self, host: "Host"):
+    def __init__(self, host: "Host") -> None:
         self.host = host
         self.name = f"mlx5_{host.host_id}"
 
@@ -77,7 +77,7 @@ class PortAttr:
 class Context:
     """``ibv_context`` analogue, bound to the opening thread's core."""
 
-    def __init__(self, device: Device, core: Core):
+    def __init__(self, device: Device, core: Core) -> None:
         self.device = device
         self.core = core
         self.host = device.host
@@ -171,7 +171,7 @@ class Context:
         sq_depth: Optional[int] = None,
         rq_depth: Optional[int] = None,
         max_inline: Optional[int] = None,
-        srq=None,
+        srq: "SharedReceiveQueue | None" = None,
     ) -> Generator["Event", object, QueuePair]:
         nicp = self.host.nic.profile
         yield from self.core.syscall(IOCTL_SERIALIZE_NS + CTRL_KERNEL_NS)

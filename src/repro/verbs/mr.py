@@ -42,7 +42,7 @@ class MemoryRegionV:
 class MrTable:
     """Per-host key -> MR lookup used by the NIC for DMA validation."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._by_lkey: dict[int, MemoryRegionV] = {}
         self._by_rkey: dict[int, MemoryRegionV] = {}
         self._next_key = 0x1000

@@ -22,7 +22,7 @@ class ProtectionDomain:
 
     _next_handle = 1
 
-    def __init__(self, context: "Context"):
+    def __init__(self, context: "Context") -> None:
         self.context = context
         self.handle = ProtectionDomain._next_handle
         ProtectionDomain._next_handle += 1

@@ -17,7 +17,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import QPStateError, VerbsError
-from repro.verbs.wr import RecvWR, SendWR, WireMessage
+from repro.verbs.wr import Psn, RecvWR, SendWR, WireMessage
 
 if False:  # pragma: no cover - typing only
     from repro.verbs.srq import SharedReceiveQueue
@@ -25,6 +25,7 @@ if False:  # pragma: no cover - typing only
 if TYPE_CHECKING:  # pragma: no cover
     from repro.verbs.cq import CompletionQueue
     from repro.verbs.pd import ProtectionDomain
+    from repro.verify.monitors import ProtocolMonitor
 
 
 class QPState(enum.Enum):
@@ -63,7 +64,7 @@ class QueuePair:
         rq_depth: int,
         max_inline: int,
         srq: "SharedReceiveQueue | None" = None,
-    ):
+    ) -> None:
         self.pd = pd
         self.transport = transport
         self.send_cq = send_cq
@@ -75,7 +76,13 @@ class QueuePair:
         #: Optional shared receive queue; when set, the NIC consumes recv
         #: WQEs from it and post_recv on this QP is invalid.
         self.srq = srq
-        self.state = QPState.RESET
+        #: Backing field for :attr:`state`; written only by :meth:`modify`
+        #: (PROTO001 lints direct writes, PROTO103 monitors them at runtime).
+        self._state = QPState.RESET
+        #: Protocol monitor hook (set by ``Nic.register_qp`` when a
+        #: :class:`~repro.verify.monitors.ProtocolMonitor` is attached to
+        #: the simulator; None costs one branch in :meth:`modify`).
+        self._monitor: "ProtocolMonitor | None" = None
 
         #: RC: connected peer as (host_id, qpn); set at RTR.
         self.remote: Optional[tuple[int, int]] = None
@@ -118,28 +125,57 @@ class QueuePair:
 
     # -- state machine -------------------------------------------------------------
 
+    @property
+    def state(self) -> QPState:
+        """Current QP state.  Read-only: all writes go through :meth:`modify`.
+
+        Making this a property (rather than trusting callers) is what
+        turns the transition table into an *enforced* contract — code that
+        assigned ``qp.state`` directly used to silently skip the legality
+        check and the ERROR/RESET flush semantics.
+        """
+        return self._state
+
     def modify(self, new_state: QPState, remote: Optional[tuple[int, int]] = None) -> None:
         """Transition the QP (``ibv_modify_qp`` analogue).
+
+        Raises :class:`~repro.errors.QPStateError` on any transition not
+        in the ``_VALID_TRANSITIONS`` table — for every caller; there is
+        no unchecked path (``state`` is a read-only property).
 
         Entering ERROR flushes all outstanding work requests: every posted
         recv WQE and every unacknowledged send completes with
         ``WR_FLUSH_ERR``, exactly as the verbs spec requires (consumers
-        rely on this to reclaim buffers).
+        rely on this to reclaim buffers).  The state is committed *before*
+        the flush runs so any observer woken by a flush CQE already sees
+        the QP in ERROR (and the PROTO104 monitor can anchor its
+        "flush strictly after ERROR" check on the transition).
         """
-        if new_state not in _VALID_TRANSITIONS[self.state]:
-            raise QPStateError(f"illegal transition {self.state} -> {new_state}")
+        if new_state not in _VALID_TRANSITIONS[self._state]:
+            raise QPStateError(f"illegal transition {self._state} -> {new_state}")
         if new_state is QPState.RTR and self.transport is Transport.RC:
             if remote is None:
                 raise QPStateError("RC RTR transition requires remote (host, qpn)")
             self.remote = remote
+        mon = self._monitor
+        if mon is not None:
+            mon.on_qp_transition(self, self._state, new_state)
+        self._state = new_state
         if new_state is QPState.ERROR:
             self._flush_with_errors()
         if new_state is QPState.RESET:
             self._flush()
-        self.state = new_state
 
     def _flush_with_errors(self) -> None:
-        """Complete everything in flight with WR_FLUSH_ERR."""
+        """Complete everything in flight with WR_FLUSH_ERR.
+
+        Flush order is the verbs contract order: posted recvs first, then
+        sends in SQ (post) order.  The send sort key is the *circular*
+        distance from the next-unassigned ``sq_psn`` — ``Psn.delta`` maps
+        the oldest in-flight PSN to the smallest key even when the
+        outstanding window straddles the 24-bit wrap point, where a raw
+        ascending-PSN sort would flush the post-wrap (newest) WRs first.
+        """
         from repro.verbs.wr import CQE, Opcode, WCStatus
 
         for rwr in self.rq:
@@ -147,7 +183,10 @@ class QueuePair:
                 wr_id=rwr.wr_id, status=WCStatus.WR_FLUSH_ERR,
                 opcode=Opcode.SEND, byte_len=0, qp_num=self.qpn))
         self.rq.clear()
-        for _psn, swr in sorted(self.outstanding.items()):
+        base = self.sq_psn
+        for _psn, swr in sorted(
+            self.outstanding.items(), key=lambda kv: Psn.delta(kv[0], base)
+        ):
             self.send_cq.push(CQE(
                 wr_id=swr.wr_id, status=WCStatus.WR_FLUSH_ERR,
                 opcode=swr.opcode, byte_len=0, qp_num=self.qpn))
@@ -208,8 +247,9 @@ class QueuePair:
         return self.remote
 
     def assign_psn(self) -> int:
+        """Hand out the next send PSN (24-bit wraparound per IBTA)."""
         psn = self.sq_psn
-        self.sq_psn += 1
+        self.sq_psn = Psn.next(psn)
         return psn
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -16,6 +16,8 @@ from repro.errors import VerbsError
 from repro.verbs.wr import RecvWR
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
     from repro.verbs.pd import ProtectionDomain
 
 _srq_ids = itertools.count(1)
@@ -25,7 +27,7 @@ class SharedReceiveQueue:
     """``ibv_srq`` analogue."""
 
     def __init__(self, pd: "ProtectionDomain", depth: int = 4096,
-                 limit: int = 0):
+                 limit: int = 0) -> None:
         if depth <= 0:
             raise VerbsError(f"SRQ depth must be positive: {depth}")
         self.pd = pd
@@ -60,7 +62,7 @@ class SharedReceiveQueue:
                 ev.succeed(len(self.rq))
         return wr
 
-    def limit_event(self, sim):
+    def limit_event(self, sim: "Simulator") -> "Event":
         """Event firing when occupancy crosses below the limit watermark."""
         ev = sim.event(name=f"srq{self.srqn}.limit")
         if self.limit and len(self.rq) < self.limit and not self._limit_armed:

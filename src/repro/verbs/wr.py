@@ -12,6 +12,67 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+class Psn:
+    """24-bit packet-sequence-number arithmetic (IBTA §9.7.2).
+
+    Real PSNs live in a 24-bit circular space: assignment wraps at
+    ``2**24`` and ordering is serial-number arithmetic with a half-window
+    of ``2**23`` — ``b`` is "after" ``a`` when the forward distance
+    ``(b - a) & MASK`` is less than half the space.  Every piece of PSN
+    math in the tree must route through these helpers (the PROTO002 lint
+    rule enforces it); raw ``+``/``-`` silently diverges from a wrapped
+    responder the moment a long-lived QP crosses the wrap point.
+
+    The helpers are plain ``@staticmethod``s on a namespace class (not
+    instances) so the per-message paths pay one attribute lookup and one
+    ``&``, nothing more.
+    """
+
+    BITS = 24
+    #: The PSN space modulus mask, ``2**24 - 1``.
+    MASK = (1 << BITS) - 1
+    #: Serial-arithmetic half window: forward distances below this mean
+    #: "ahead", at-or-above mean "behind" (a duplicate / very old PSN).
+    HALF = 1 << (BITS - 1)
+
+    @staticmethod
+    def wrap(value: int) -> int:
+        """Project any integer into the 24-bit PSN space."""
+        return value & Psn.MASK
+
+    @staticmethod
+    def next(psn: int) -> int:
+        """The PSN after ``psn`` (wraps ``2**24 - 1 -> 0``)."""
+        return (psn + 1) & Psn.MASK
+
+    @staticmethod
+    def add(psn: int, n: int) -> int:
+        """``psn`` advanced by ``n`` (``n`` may be negative), wrapped."""
+        return (psn + n) & Psn.MASK
+
+    @staticmethod
+    def delta(psn: int, base: int) -> int:
+        """Forward distance from ``base`` to ``psn`` in [0, 2**24).
+
+        Also the circular sort key for "oldest outstanding first": with
+        ``base`` = the next-unassigned ``sq_psn``, older in-flight PSNs
+        map to smaller deltas even across the wrap point.
+        """
+        return (psn - base) & Psn.MASK
+
+    @staticmethod
+    def cmp(a: int, b: int) -> int:
+        """Serial-number compare: -1 if ``a`` is behind ``b``, 0, or +1.
+
+        "Behind" means the forward distance from ``b`` to ``a`` is at
+        least half the space — i.e. ``a`` is a duplicate/older PSN from
+        the responder's point of view when ``b`` is ``expected_psn``.
+        """
+        if a == b:
+            return 0
+        return 1 if (a - b) & Psn.MASK < Psn.HALF else -1
+
+
 class Opcode(enum.Enum):
     """Send-side operation codes (subset of ``ibv_wr_opcode``).
 

@@ -1,0 +1,220 @@
+"""Small closed scenarios for exhaustive schedule exploration.
+
+Each scenario is a *tiny* RC world — one connected QP pair, two to four
+work requests, optionally a bounded drop budget — chosen so the full tree
+of same-timestamp dispatch interleavings and drop decisions stays in the
+thousands of schedules.  Small scopes are the point: protocol bugs in
+ordering, retransmission and flush logic almost always have minimal
+witnesses with one or two in-flight messages (the small-scope hypothesis),
+so exhausting a tiny world buys more confidence per CPU-second than
+sampling a big one.
+
+A scenario factory builds a **fresh** simulator per call (the explorer
+re-runs it once per schedule) and splits setup into two stages:
+
+- :meth:`Scenario.prepare` runs the connection handshake with *default*
+  scheduling, so the choice tree starts at the interesting part — the
+  data-plane work — not at thousands of identical handshake ties;
+- :meth:`Scenario.go` posts the work and runs the simulator to idle.
+  It never block-waits on completions: under a seeded mutant the
+  completions may legitimately never come, and the run must still
+  terminate so the monitor's :meth:`finalize` can flag what is missing.
+
+The monitor must be attached *before* ``prepare`` (QP registration hooks
+fire during creation); the chooser and fault injector go in *after*
+``prepare`` and before ``go``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.cluster.builder import build_pair
+from repro.cluster.fabric import Fabric
+from repro.core.endpoint import Endpoint, make_rc_pair
+from repro.hw.profiles import SYSTEM_L
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.units import us
+from repro.verbs.qp import QPState
+from repro.verbs.wr import Opcode, RecvWR, SendWR
+
+
+#: Scenario bodies and setup stages are simulation generators.
+SimGen = Generator[object, object, None]
+#: ``body(sim, a, b)`` posts the scenario's work requests.
+Body = Callable[[Simulator, Endpoint, Endpoint], SimGen]
+
+
+def _recv(ep: Endpoint, wr_id: int) -> RecvWR:
+    return RecvWR(wr_id=wr_id, addr=ep.buf.addr, length=ep.buf.length,
+                  lkey=ep.mr.lkey)
+
+
+def _send(ep: Endpoint, wr_id: int, nbytes: int = 1024) -> SendWR:
+    return SendWR(wr_id=wr_id, opcode=Opcode.SEND, addr=ep.buf.addr,
+                  length=nbytes, lkey=ep.mr.lkey)
+
+
+class Scenario:
+    """One prepared world: simulator, fabric, endpoints, and a body."""
+
+    def __init__(self, name: str, sim: Simulator, fabric: Fabric,
+                 setup: Callable[["Scenario"], SimGen], body: Body) -> None:
+        self.name = name
+        self.sim = sim
+        self.fabric = fabric
+        self._setup = setup
+        self._body = body
+        self.endpoints: tuple[Endpoint, Endpoint] = ()  # type: ignore[assignment]
+        self.qps: list = []
+        self.cqs: list = []
+
+    def prepare(self) -> None:
+        """Run the RC handshake under default scheduling."""
+        self.sim.run(self.sim.process(self._setup(self)))
+
+    def go(self) -> None:
+        """Post the scenario's work and run the simulator to idle."""
+        self.sim.process(self._body(self.sim, *self.endpoints))
+        self.sim.run(None)
+
+
+#: ``tune(a, b)`` runs right after the handshake, inside the sim.
+Tune = Optional[Callable[[Endpoint, Endpoint], None]]
+
+
+def _pair_factory(name: str, body: Body, *, drop_budget: int = 0,
+                  tune: Tune = None) -> "ScenarioSpec":
+    def factory(trace: bool = False) -> Scenario:
+        sim = Simulator(seed=0, trace=Trace(enabled=True) if trace else None)
+        fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+        def setup(scen: Scenario) -> SimGen:
+            a, b = yield from make_rc_pair(host_a, host_b, "bypass", "bypass")
+            if tune is not None:
+                tune(a, b)
+            scen.endpoints = (a, b)
+            scen.qps = [a.qp, b.qp]
+            scen.cqs = [a.send_cq, a.recv_cq, b.send_cq, b.recv_cq]
+
+        return Scenario(name, sim, fabric, setup, body)
+
+    return ScenarioSpec(name=name, factory=factory, drop_budget=drop_budget)
+
+
+class ScenarioSpec:
+    """A named factory plus the drop budget its exploration should use."""
+
+    def __init__(self, name: str, factory: Callable[[bool], Scenario],
+                 drop_budget: int) -> None:
+        self.name = name
+        self.factory = factory
+        self.drop_budget = drop_budget
+
+    def __call__(self, trace: bool = False) -> Scenario:
+        return self.factory(trace)
+
+
+# --------------------------------------------------------------------------
+# Scenario bodies
+# --------------------------------------------------------------------------
+
+def _two_sends(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """Two signaled sends into two posted recvs; lossless."""
+    for i in (101, 102):
+        yield from b.post_recv(_recv(b, i))
+    for i in (1, 2):
+        yield from a.post_send(_send(a, i))
+
+
+def _pipelined_sends(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """Four back-to-back sends keep several PSNs in flight at once."""
+    for i in (101, 102, 103, 104):
+        yield from b.post_recv(_recv(b, i))
+    for i in (1, 2, 3, 4):
+        yield from a.post_send(_send(a, i, nbytes=4096))
+
+
+def _retry_exhaustion(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """Two sends under a 2-drop budget with retry_cnt=1: some schedules
+    drive the requester into RETRY_EXC_ERR and a full SQ flush."""
+    for i in (101, 102):
+        yield from b.post_recv(_recv(b, i))
+    for i in (1, 2):
+        yield from a.post_send(_send(a, i))
+
+
+def _tune_tight_retries(a: Endpoint, b: Endpoint) -> None:
+    a.qp.retry_cnt = 1
+    a.qp.rnr_retries = 1
+
+
+def _atomic_wr(a: Endpoint, b: Endpoint, wr_id: int,
+               compare_add: int = 1) -> SendWR:
+    return SendWR(wr_id=wr_id, opcode=Opcode.ATOMIC_FETCH_ADD,
+                  addr=a.buf.addr, length=8, lkey=a.mr.lkey,
+                  remote_addr=b.buf.addr, rkey=b.mr.rkey,
+                  compare_add=compare_add)
+
+
+def _atomic_replay(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """Two fetch-adds under a 1-drop budget: dropping the atomic response
+    forces a retransmit the responder must answer from its replay cache
+    (re-executing would double-increment — PROTO106's whole reason)."""
+    b.buf.write(0, (5).to_bytes(8, "little"))
+    for i in (1, 2):
+        yield from a.post_send(_atomic_wr(a, b, i))
+
+
+def _rnr_retry(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """Send arrives before any recv is posted: RNR NAK, backoff, retry."""
+    yield from a.post_send(_send(a, 1))
+    yield sim.timeout(us(20))
+    yield from b.post_recv(_recv(b, 101))
+
+
+def _flush_order(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """One small send that completes, then two large ones still in flight
+    when a killer process errors the QP: the ERROR flush runs with a mix
+    of completed / in-flight / never-fetched WQEs."""
+    for i in (101, 102, 103):
+        yield from b.post_recv(_recv(b, i))
+    yield from a.post_recv(_recv(a, 201))
+
+    def killer() -> SimGen:
+        yield sim.timeout(us(6))
+        if a.qp.state is QPState.RTS:
+            a.qp.modify(QPState.ERROR)
+
+    sim.process(killer())
+    yield from a.post_send(_send(a, 1, nbytes=1024))
+    for i in (2, 3):
+        yield from a.post_send(_send(a, i, nbytes=65536))
+
+
+def _read_drop(sim: Simulator, a: Endpoint, b: Endpoint) -> SimGen:
+    """One RDMA READ under a 1-drop budget: losing the request or the
+    response exercises the read retransmit path."""
+    b.buf.write(0, bytes(range(16)))
+    wr = SendWR(wr_id=1, opcode=Opcode.RDMA_READ, addr=a.buf.addr,
+                length=256, lkey=a.mr.lkey, remote_addr=b.buf.addr,
+                rkey=b.mr.rkey)
+    yield from a.post_send(wr)
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        _pair_factory("two_sends", _two_sends),
+        _pair_factory("pipelined_sends", _pipelined_sends),
+        _pair_factory("retry_exhaustion", _retry_exhaustion,
+                      drop_budget=2, tune=_tune_tight_retries),
+        _pair_factory("atomic_replay", _atomic_replay,
+                      drop_budget=1, tune=_tune_tight_retries),
+        _pair_factory("rnr_retry", _rnr_retry),
+        _pair_factory("flush_order", _flush_order),
+        _pair_factory("read_drop", _read_drop,
+                      drop_budget=1, tune=_tune_tight_retries),
+    )
+}

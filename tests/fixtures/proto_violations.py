@@ -1,0 +1,27 @@
+"""Deliberate protocol-discipline violations — one per PROTO00x lint rule.
+
+Never imported; ``tests/test_sanitize_lint.py`` lints this file under a
+virtual ``src/repro/hw/...`` path (inside the rules' scope, outside the
+exempt ``repro/verbs/wr.py`` and ``repro/verify/`` locations) and asserts
+each PROTO001–PROTO004 rule reports exactly the violation seeded here.
+"""
+
+
+def error_out(qp, QPState):
+    qp._state = QPState.ERROR  # PROTO001: state write outside modify()
+
+
+def next_wire_psn(qp):
+    return qp.sq_psn + 1  # PROTO002: raw arithmetic, not Psn.next/add
+
+
+def retire(self, qp, psn):
+    # PROTO003: takes a WQE out of the outstanding window but never
+    # posts (or delegates) a completion for it.
+    wr = qp.outstanding.pop(psn)
+    qp.sq_outstanding -= 1
+    return wr
+
+
+def notify_completion(self, cq, cqe):
+    self.sim._monitor.on_cqe(cq, cqe)  # PROTO004: no `is not None` guard

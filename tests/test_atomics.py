@@ -7,7 +7,7 @@ from repro.core.endpoint import connect, make_endpoint, make_rc_pair
 from repro.errors import VerbsError
 from repro.hw.profiles import SYSTEM_L
 from repro.sim import Simulator
-from repro.verbs.wr import Opcode, SendWR
+from repro.verbs.wr import Opcode, Psn, SendWR, WireMessage
 
 
 def run_pair(scenario, kind="bypass"):
@@ -133,3 +133,79 @@ def test_atomic_bad_rkey_error():
         return cqes[0].status
 
     assert run_pair(scenario) is WCStatus.REM_ACCESS_ERR
+
+
+# -- replay cache bounds (eviction semantics) -------------------------------------
+
+
+def test_replay_cache_keeps_the_last_64_psns():
+    """The responder's atomic replay cache is bounded at 64 entries,
+    evicting oldest-first (insertion order == PSN acceptance order)."""
+    def scenario(sim, a, b):
+        b.buf.write(0, (0).to_bytes(8, "little"))
+        first_psn = a.qp.sq_psn
+        for i in range(70):
+            yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_FETCH_ADD,
+                                              wr_id=i + 1, compare_add=1))
+            yield from a.wait_send()
+        return first_psn, b.qp
+
+    first_psn, bqp = run_pair(scenario)
+    assert len(bqp.atomic_cache) == 64
+    # The first six PSNs were evicted; the last 64 are replayable.
+    assert first_psn not in bqp.atomic_cache
+    assert Psn.add(first_psn, 5) not in bqp.atomic_cache
+    assert Psn.add(first_psn, 6) in bqp.atomic_cache
+    assert bqp.atomic_cache[Psn.add(first_psn, 6)] == 6  # pre-op value
+
+
+def test_duplicate_of_evicted_atomic_psn_gets_no_reply():
+    """A duplicate atomic whose PSN aged out of the replay cache is
+    *silenced*, never re-executed: the initiator would retry into
+    RETRY_EXC_ERR, but the remote value stays exactly-once correct
+    (IBTA C9-150: the responder only replays what its resources hold).
+    A duplicate still in the cache gets the original value back."""
+    sim = Simulator(seed=4)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+    out = {}
+
+    def dup_atomic(a, b, psn):
+        return WireMessage(
+            kind="atomic", src_host=host_a.nic.host_id,
+            dst_host=host_b.nic.host_id, src_qpn=a.qp.qpn,
+            dst_qpn=b.qp.qpn, transport="RC", psn=psn, length=8,
+            remote_addr=b.buf.addr, rkey=b.mr.rkey, token=(a.qp.qpn, psn),
+            atomic=(Opcode.ATOMIC_FETCH_ADD, 1, 0), header_bytes=30,
+        )
+
+    def main():
+        a, b = yield from make_rc_pair(host_a, host_b, "bypass", "bypass")
+        b.buf.write(0, (0).to_bytes(8, "little"))
+        first_psn = a.qp.sq_psn
+        for i in range(70):
+            yield from a.post_send(_atomic_wr(a, b, Opcode.ATOMIC_FETCH_ADD,
+                                              wr_id=i + 1, compare_add=1))
+            yield from a.wait_send()
+        send_cqes = a.send_cq.total_cqes
+
+        # Duplicate of an *evicted* PSN: dead silence, no re-execution.
+        host_b.nic.deliver(dup_atomic(a, b, first_psn))
+        yield sim.timeout(200_000)
+        out["evicted_cqes"] = a.send_cq.total_cqes - send_cqes
+        out["value_after_evicted_dup"] = int.from_bytes(b.buf.read(0, 8),
+                                                        "little")
+
+        # Duplicate of a *cached* PSN: replied from the cache with the
+        # original pre-op value, again without re-executing.
+        cached_psn = Psn.add(first_psn, 69)
+        host_b.nic.deliver(dup_atomic(a, b, cached_psn))
+        yield sim.timeout(200_000)
+        out["value_after_cached_dup"] = int.from_bytes(b.buf.read(0, 8),
+                                                       "little")
+        out["cached_value"] = b.qp.atomic_cache[cached_psn]
+
+    sim.run(sim.process(main()))
+    assert out["evicted_cqes"] == 0          # nothing came back
+    assert out["value_after_evicted_dup"] == 70   # not re-executed
+    assert out["value_after_cached_dup"] == 70    # replay, not re-execution
+    assert out["cached_value"] == 69              # original pre-op value

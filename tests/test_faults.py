@@ -411,7 +411,10 @@ def test_flush_with_errors_orders_recv_before_send_and_sends_by_psn():
     cq = CompletionQueue(sim, name="shared")
     qp = QueuePair(pd=None, transport=Transport.RC, send_cq=cq, recv_cq=cq,
                    qpn=9, sq_depth=16, rq_depth=16, max_inline=0)
-    qp.state = QPState.RTS  # wired directly; handshake not under test
+    # state is a read-only property now: walk the legal handshake path.
+    qp.modify(QPState.INIT)
+    qp.modify(QPState.RTR, remote=(1, 9))
+    qp.modify(QPState.RTS)
     qp.rq.append(RecvWR(wr_id=101))
     qp.rq.append(RecvWR(wr_id=102))
     # Out-of-order insertion: flush must sort sends by PSN.

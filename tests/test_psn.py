@@ -1,0 +1,133 @@
+"""24-bit PSN serial arithmetic and end-to-end wraparound behaviour."""
+
+import pytest
+
+from repro.cluster import build_pair
+from repro.core.endpoint import make_rc_pair
+from repro.hw.profiles import SYSTEM_L
+from repro.sim import Simulator
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.qp import QPState, QueuePair, Transport
+from repro.verbs.wr import Opcode, Psn, RecvWR, SendWR, WCStatus
+
+
+# -- helper algebra ---------------------------------------------------------------
+
+
+def test_wrap_projects_into_24_bits():
+    assert Psn.MASK == 2**24 - 1
+    assert Psn.wrap(2**24) == 0
+    assert Psn.wrap(2**24 + 5) == 5
+    assert Psn.wrap(-1) == Psn.MASK
+
+
+def test_next_wraps_at_top():
+    assert Psn.next(0) == 1
+    assert Psn.next(Psn.MASK) == 0
+
+
+def test_add_signed_and_wrapped():
+    assert Psn.add(10, 5) == 15
+    assert Psn.add(0, -1) == Psn.MASK
+    assert Psn.add(Psn.MASK, 2) == 1
+
+
+def test_delta_is_circular_forward_distance():
+    assert Psn.delta(5, 3) == 2
+    assert Psn.delta(3, 5) == Psn.MASK + 1 - 2
+    # Across the wrap: 2 is 5 ahead of MASK-2.
+    assert Psn.delta(2, Psn.MASK - 2) == 5
+
+
+@pytest.mark.parametrize("a,b,expect", [
+    (5, 5, 0),
+    (6, 5, 1),          # a just ahead
+    (5, 6, -1),         # a just behind
+    (0, Psn.MASK, 1),   # ahead across the wrap
+    (Psn.MASK, 0, -1),  # behind across the wrap
+    (Psn.HALF, 0, -1),  # exactly half the space away reads as "behind"
+])
+def test_cmp_serial_order(a, b, expect):
+    got = Psn.cmp(a, b)
+    assert (got > 0) == (expect > 0)
+    assert (got < 0) == (expect < 0)
+    assert (got == 0) == (expect == 0)
+
+
+# -- end-to-end wraparound regression ---------------------------------------------
+
+
+def _recv(ep, wr_id):
+    return RecvWR(wr_id=wr_id, addr=ep.buf.addr, length=ep.buf.length,
+                  lkey=ep.mr.lkey)
+
+
+def _send(ep, wr_id, n=1024):
+    return SendWR(wr_id=wr_id, opcode=Opcode.SEND, addr=ep.buf.addr,
+                  length=n, lkey=ep.mr.lkey)
+
+
+def test_rc_sends_cross_the_psn_wrap():
+    """Four sends assigned PSNs MASK-1, MASK, 0, 1 all complete in order.
+
+    Before the Psn helper, the responder compared raw integers: the
+    post-wrap PSN 0 looked like a stale duplicate of MASK-1 and the QP
+    wedged.  This is the regression test for that whole bug class.
+    """
+    sim = Simulator(seed=5)
+    _fabric, host_a, host_b = build_pair(sim, SYSTEM_L)
+
+    def main():
+        a, b = yield from make_rc_pair(host_a, host_b, "bypass", "bypass")
+        # Long-lived QP about to cross the wrap: both ends agree the next
+        # PSN is MASK-1 (2**24 - 2).
+        a.qp.sq_psn = Psn.MASK - 1
+        b.qp.expected_psn = Psn.MASK - 1
+        for i in (101, 102, 103, 104):
+            yield from b.post_recv(_recv(b, i))
+        for i in (1, 2, 3, 4):
+            yield from a.post_send(_send(a, i))
+        cqes = []
+        while len(cqes) < 4:
+            cqes.extend((yield from a.wait_send()))
+        rqes = []
+        while len(rqes) < 4:
+            rqes.extend((yield from b.wait_recv()))
+        return a, b, cqes, rqes
+
+    a, b, cqes, rqes = sim.run(sim.process(main()))
+    assert [c.wr_id for c in cqes] == [1, 2, 3, 4]
+    assert all(c.status is WCStatus.SUCCESS for c in cqes)
+    assert [r.wr_id for r in rqes] == [101, 102, 103, 104]
+    # Both PSN spaces wrapped and stayed in sync.
+    assert a.qp.sq_psn == 2
+    assert b.qp.expected_psn == 2
+    assert a.qp.outstanding == {}
+
+
+def test_error_flush_order_across_the_wrap():
+    """Flush emits oldest-first even when the window straddles the wrap."""
+    sim = Simulator(seed=1)
+    cq = CompletionQueue(sim, name="sq")
+    qp = QueuePair(pd=None, transport=Transport.RC, send_cq=cq, recv_cq=cq,
+                   qpn=7, sq_depth=16, rq_depth=16, max_inline=0)
+    qp.modify(QPState.INIT)
+    qp.modify(QPState.RTR, remote=(1, 9))
+    qp.modify(QPState.RTS)
+    qp.sq_psn = Psn.MASK  # next assignment wraps
+    wrs = {}
+    for wr_id in (1, 2, 3):
+        psn = qp.assign_psn()
+        wr = _send_like(wr_id)
+        qp.outstanding[psn] = wr
+        wrs[wr_id] = psn
+    assert sorted(qp.outstanding) == [0, 1, Psn.MASK]
+    qp.modify(QPState.ERROR)
+    flushed = [e.wr_id for e in qp.send_cq.entries
+               if e.status is WCStatus.WR_FLUSH_ERR]
+    # Post order 1 (PSN MASK), 2 (PSN 0), 3 (PSN 1) — not ascending-PSN.
+    assert flushed == [1, 2, 3]
+
+
+def _send_like(wr_id):
+    return SendWR(wr_id=wr_id, opcode=Opcode.SEND, addr=0, length=8, lkey=0)

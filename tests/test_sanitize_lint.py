@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro.sanitize import format_json, format_text, lint_source, run_lint
-from repro.sanitize.findings import PRAGMAS, RULES
+from repro.sanitize.findings import PRAGMAS, PROTO_LINT_RULES, RULES
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
                        "sanitize_violations.py")
@@ -168,8 +168,10 @@ def test_unused_pragma_is_a_finding():
 
 
 def test_every_lint_rule_has_a_pragma():
-    lint_rules = [r for r in RULES if r.startswith("SIM0") and r != "SIM000"]
-    assert len(lint_rules) == 6
+    lint_rules = [r for r in RULES
+                  if (r.startswith("SIM0") or r.startswith("PROTO0"))
+                  and r != "SIM000"]
+    assert len(lint_rules) == 10
     assert set(PRAGMAS.values()) == set(lint_rules)
 
 
@@ -190,6 +192,92 @@ def test_text_and_json_formats():
 def test_syntax_error_reports_sim000():
     findings = lint_source("def broken(:\n", path="t.py")
     assert [f.rule for f in findings] == ["SIM000"]
+
+
+# -- the protocol-aware rulepack (PROTO001-PROTO004) ------------------------------
+
+PROTO_FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                             "proto_violations.py")
+#: Inside the PROTO rules' scope; outside the exempt Psn module and the
+#: verify package (monitor implementations may touch hooks freely).
+PROTO_VIRTUAL_PATH = os.path.join("src", "repro", "hw",
+                                  "_proto_violations.py")
+
+
+def _lint_proto_fixture(rules=None):
+    with open(PROTO_FIXTURE, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path=PROTO_VIRTUAL_PATH,
+                       rules=rules or list(PROTO_LINT_RULES))
+
+
+@pytest.mark.parametrize("rule", sorted(PROTO_LINT_RULES))
+def test_proto_fixture_seeds_exactly_one_violation_per_rule(rule):
+    findings = _lint_proto_fixture(rules=[rule])
+    assert len(findings) == 1, [f.text() for f in findings]
+    assert findings[0].rule == rule
+    assert findings[0].hint
+
+
+def test_proto001_modify_itself_is_exempt():
+    src = (
+        "class QueuePair:\n"
+        "    def modify(self, new_state):\n"
+        "        self._state = new_state\n"
+        "    def elsewhere(self, QPState):\n"
+        "        self._state = QPState.ERROR\n"
+    )
+    findings = lint_source(src, path="src/repro/verbs/qp.py",
+                           rules=["PROTO001"])
+    assert [f.line for f in findings] == [5]
+
+
+def test_proto002_psn_helper_module_is_exempt():
+    src = "def nxt(psn):\n    return (psn + 1) & 0xFFFFFF\n"
+    assert lint_source(src, path="src/repro/verbs/wr.py",
+                       rules=["PROTO002"]) == []
+    # The same arithmetic elsewhere is only flagged on PSN-named operands.
+    flagged = "def nxt(qp):\n    return qp.expected_psn + 1\n"
+    assert [f.rule for f in lint_source(flagged, path="src/repro/hw/nic.py",
+                                        rules=["PROTO002"])] == ["PROTO002"]
+
+
+def test_proto002_psn_helper_calls_are_clean():
+    src = (
+        "from repro.verbs.wr import Psn\n"
+        "def ahead(msg, qp):\n"
+        "    return Psn.cmp(msg.psn, qp.expected_psn) > 0\n"
+    )
+    assert lint_source(src, path="src/repro/hw/nic.py",
+                       rules=["PROTO002"]) == []
+
+
+def test_proto003_completion_path_with_cqe_is_clean():
+    src = (
+        "def retire(self, qp, psn, cqe):\n"
+        "    wr = qp.outstanding.pop(psn)\n"
+        "    qp.sq_outstanding -= 1\n"
+        "    yield from self._post_cqe(qp.send_cq, cqe)\n"
+    )
+    assert lint_source(src, path="src/repro/hw/nic.py",
+                       rules=["PROTO003"]) == []
+
+
+def test_proto004_guarded_monitor_hook_is_clean():
+    src = (
+        "def f(self, qp):\n"
+        "    mon = self.sim._monitor\n"
+        "    if mon is not None:\n"
+        "        mon.on_responder_update(qp)\n"
+    )
+    assert lint_source(src, path="src/repro/hw/nic.py",
+                       rules=["PROTO004"]) == []
+
+
+def test_proto_rules_exempt_inside_verify_package():
+    src = "def f(self, qp):\n    self._monitor.on_cqe(None, None)\n"
+    assert lint_source(src, path="src/repro/verify/explorer.py",
+                       rules=["PROTO004"]) == []
 
 
 # -- the tree itself --------------------------------------------------------------

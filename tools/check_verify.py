@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI gate: the protocol verifier must be clean on the tree AND have teeth.
+
+Four stages, in order of increasing cost:
+
+1. **Lint** — the PROTO001-PROTO004 protocol rulepack finds nothing in
+   the repository tree (``repro verify lint``).
+2. **Monitors** — every verification scenario runs to completion with
+   the strict runtime monitor attached and zero findings.
+3. **Exploration (clean)** — every scenario's full schedule/fault tree
+   is exhaustively explored with monitors on and produces no
+   counterexample; trees that stop at ``--max-schedules`` without
+   exhausting fail too (an unexplorable scenario is a scenario that
+   proves nothing).
+4. **Mutants (teeth)** — every hand-seeded protocol mutant in
+   :mod:`repro.verify.mutants` is applied in turn and exploration of its
+   target scenarios MUST produce a counterexample flagged with exactly
+   the mutant's expected PROTO rule.  A verifier that stays green under
+   a seeded bug is decoration; this stage is what keeps it honest.
+
+On any counterexample (stage 3 or 4 when unexpected), the failing
+schedule is replayed with tracing enabled and a Chrome-trace plus
+schedule JSON land in ``--artifacts`` (default ``results/verify``) for
+offline debugging.  Exit status is non-zero on any stage failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.sanitize import format_text, run_lint
+from repro.sanitize.findings import PROTO_LINT_RULES
+from repro.verify import MUTANTS, SCENARIOS, Explorer, ProtocolMonitor
+
+
+def stage_lint(root: str) -> bool:
+    findings = run_lint(root=root, rules=list(PROTO_LINT_RULES))
+    if findings:
+        print(format_text(findings))
+        print(f"FAIL lint: {len(findings)} protocol lint finding(s)")
+        return False
+    print(f"ok   lint: tree clean under {', '.join(PROTO_LINT_RULES)}")
+    return True
+
+
+def stage_monitors() -> bool:
+    ok = True
+    for name in sorted(SCENARIOS):
+        scen = SCENARIOS[name]()
+        monitor = ProtocolMonitor(scen.sim, strict=False)
+        scen.sim.attach_monitor(monitor)
+        scen.prepare()
+        scen.go()
+        monitor.finalize()
+        if monitor.findings:
+            ok = False
+            for f in monitor.findings:
+                print(f"FAIL monitors[{name}]: {f.text()}")
+        else:
+            print(f"ok   monitors[{name}]: clean")
+    return ok
+
+
+def stage_explore(max_schedules: int, artifacts: str) -> bool:
+    ok = True
+    for name in sorted(SCENARIOS):
+        t0 = time.perf_counter()
+        result = Explorer(SCENARIOS[name], max_schedules=max_schedules,
+                          artifacts_dir=artifacts).explore()
+        dt = time.perf_counter() - t0
+        stats = (f"{result.schedules_run} schedule(s), "
+                 f"{result.pruned} pruned, depth {result.max_depth}, "
+                 f"{dt:.1f}s")
+        if not result.ok:
+            cex = result.counterexample
+            print(f"FAIL explore[{name}]: {cex.rule} on schedule "
+                  f"{list(cex.schedule)} — {cex.message}")
+            if cex.trace_path:
+                print(f"     artifacts: {cex.trace_path}")
+            ok = False
+        elif not result.exhausted:
+            print(f"FAIL explore[{name}]: tree not exhausted after {stats}")
+            ok = False
+        else:
+            print(f"ok   explore[{name}]: exhausted, {stats}")
+    return ok
+
+
+def stage_mutants(max_schedules: int) -> bool:
+    ok = True
+    for name in sorted(MUTANTS):
+        mutant = MUTANTS[name]
+        caught = None
+        with mutant.apply():
+            for sname in mutant.scenarios:
+                result = Explorer(SCENARIOS[sname],
+                                  max_schedules=max_schedules).explore()
+                if not result.ok:
+                    caught = result.counterexample
+                    break
+        if caught is None:
+            print(f"FAIL mutants[{name}]: escaped exploration of "
+                  f"{', '.join(mutant.scenarios)} — the verifier is blind "
+                  f"to: {mutant.description}")
+            ok = False
+        elif caught.rule != mutant.rule:
+            print(f"FAIL mutants[{name}]: caught by {caught.rule}, "
+                  f"expected {mutant.rule} ({caught.message})")
+            ok = False
+        else:
+            print(f"ok   mutants[{name}]: {mutant.rule} on schedule "
+                  f"{list(caught.schedule)}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root for the lint stage")
+    parser.add_argument("--max-schedules", type=int, default=20000)
+    parser.add_argument("--artifacts", default="results/verify",
+                        help="where counterexample replays are written")
+    parser.add_argument("--skip-mutants", action="store_true",
+                        help="skip the teeth stage (fast local runs)")
+    args = parser.parse_args(argv)
+
+    failed = []
+    for name, run in [
+        ("lint", lambda: stage_lint(args.root)),
+        ("monitors", stage_monitors),
+        ("explore", lambda: stage_explore(args.max_schedules, args.artifacts)),
+        ("mutants", (lambda: True) if args.skip_mutants
+         else lambda: stage_mutants(args.max_schedules)),
+    ]:
+        if not run():
+            failed.append(name)
+    if failed:
+        print(f"check_verify: FAILED stage(s): {', '.join(failed)}")
+        return 1
+    print("check_verify: all stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
