@@ -22,7 +22,10 @@ Shape checks:
 - mean per-flow goodput is non-increasing in N (per dataplane);
 - unbounded buffers never drop and never retransmit;
 - the legacy fabric exceeds one link's bandwidth at N=8 (the bug exists);
-- a bounded buffer drops, retransmits recover, and every flow completes.
+- a bounded buffer drops, retransmits recover, and every flow completes;
+- DCQCN congestion control recovers the bounded-buffer 16→1 incast:
+  ≥80% of the unbounded aggregate goodput and ≥10× fewer tail drops than
+  the CC-off run (the congestion-collapse fix, ``--congestion dcqcn``).
 """
 
 import json
@@ -76,10 +79,16 @@ def _sweep():
     # switch buffer at N=8 (tail drops + RC retransmit recovery).
     legacy = _cfg("bypass", 8).with_(rx_contention=False)
     bounded = _cfg("bypass", 8).with_(buffer_bytes=BOUNDED_BUFFER)
-    results = parallel_sweep(_point, points + [legacy, bounded])
+    # Congestion-control pair: the bounded 16→1 incast with and without
+    # DCQCN.  The unbounded reference is the bypass N=16 sweep point.
+    cc_off = _cfg("bypass", 16).with_(buffer_bytes=BOUNDED_BUFFER)
+    cc_on = cc_off.with_(congestion="dcqcn")
+    results = parallel_sweep(_point, points + [legacy, bounded, cc_off, cc_on])
+    cc_on_r = results.pop()
+    cc_off_r = results.pop()
     bounded_r = results.pop()
     legacy_r = results.pop()
-    return points, results, legacy_r, bounded_r
+    return points, results, legacy_r, bounded_r, cc_off_r, cc_on_r
 
 
 def _entry(r) -> dict:
@@ -97,10 +106,15 @@ def _entry(r) -> dict:
         "messages_dropped": r.messages_dropped,
         "retransmits": r.retransmits,
         "ack_timeouts": r.ack_timeouts,
+        "congestion": r.config.congestion,
+        "ecn_marked": r.ecn_marked,
+        "cnps": r.cnps,
+        "min_rate": r.min_rate,
+        "failed_msgs": r.failed_msgs,
     }
 
 
-def _record(results, legacy_r, bounded_r) -> None:
+def _record(results, legacy_r, bounded_r, cc_ref_r, cc_off_r, cc_on_r) -> None:
     path = _incast_json_path()
     if bench_scale() < 1.0 and not os.environ.get(INCAST_JSON_ENV, "").strip():
         print(f"[bench] not recording incast sweep at scale {bench_scale():g} "
@@ -115,6 +129,13 @@ def _record(results, legacy_r, bounded_r) -> None:
         "sweep": {},
         "legacy_rx_off": _entry(legacy_r),
         "bounded_buffer": _entry(bounded_r),
+        # The congestion-collapse fix at N=16: unbounded reference (the
+        # bypass sweep point), bounded CC-off, bounded DCQCN.
+        "congestion": {
+            "reference": _entry(cc_ref_r),
+            "cc_off": _entry(cc_off_r),
+            "dcqcn": _entry(cc_on_r),
+        },
     }
     it = iter(results)
     for label, _kind in PLANES:
@@ -125,7 +146,7 @@ def _record(results, legacy_r, bounded_r) -> None:
     print(f"[bench] recorded incast sweep -> {path}")
 
 
-def _report(points, results, legacy_r, bounded_r):
+def _report(points, results, legacy_r, bounded_r, cc_off_r, cc_on_r):
     link_gbit = to_gbit_per_s(get_profile(SYSTEM).nic.link_bw)
     agg = SweepTable(f"Incast: aggregate receive rate, {SIZE // 1024} KiB "
                      "writes (Gbit/s)", "N")
@@ -153,6 +174,19 @@ def _report(points, results, legacy_r, bounded_r):
         f"{bounded_r.aggregate_gbit:.1f} Gbit/s, "
         f"{bounded_r.messages_dropped} drops, "
         f"{bounded_r.retransmits} retransmits"
+    )
+    cc_ref_r = by_label["BP"][SENDERS.index(16)]
+    parts.append(
+        f"congestion control, N=16, bounded {BOUNDED_BUFFER // 1024} KiB:\n"
+        f"  unbounded reference: {cc_ref_r.aggregate_gbit:.1f} Gbit/s\n"
+        f"  CC off:  {cc_off_r.aggregate_gbit:.1f} Gbit/s, "
+        f"{cc_off_r.messages_dropped} drops, "
+        f"{cc_off_r.failed_msgs} failed msgs\n"
+        f"  DCQCN:   {cc_on_r.aggregate_gbit:.1f} Gbit/s "
+        f"({cc_on_r.aggregate_gbit / cc_ref_r.aggregate_gbit:.0%} of "
+        f"reference), {cc_on_r.messages_dropped} drops "
+        f"({cc_off_r.messages_dropped / max(cc_on_r.messages_dropped, 1):.0f}x "
+        f"fewer), {cc_on_r.ecn_marked} ECN marks, {cc_on_r.cnps} CNPs"
     )
     text = "\n\n".join(parts)
 
@@ -182,8 +216,27 @@ def _report(points, results, legacy_r, bounded_r):
         "bounded-buffer drops recover via retransmit",
         float(bounded_r.retransmits), float(bounded_r.messages_dropped),
         float("inf")))
+    # The congestion-collapse fix.  Thresholds are scale-aware: the smoke
+    # workload (8 msgs/sender) ends while DCQCN's conservative start is
+    # still ramping, so it sits right at the full-scale bar.
+    full = bench_scale() >= 1.0
+    rec_floor, red_floor = (0.8, 10.0) if full else (0.75, 8.0)
+    checks.append(check_between(
+        f"DCQCN recovers >={rec_floor:.0%} of unbounded goodput at N=16",
+        cc_on_r.aggregate_gbit / cc_ref_r.aggregate_gbit,
+        rec_floor, float("inf")))
+    checks.append(check_between(
+        f"DCQCN cuts tail drops >={red_floor:.0f}x vs CC-off at N=16",
+        cc_off_r.messages_dropped / max(cc_on_r.messages_dropped, 1),
+        red_floor, float("inf")))
+    checks.append(check_between(
+        "DCQCN run completes every message (no RETRY_EXC_ERR)",
+        float(cc_on_r.failed_msgs), 0.0, 0.0))
+    checks.append(check_between(
+        "DCQCN loop engaged (ECN marks and CNPs observed)",
+        float(min(cc_on_r.ecn_marked, cc_on_r.cnps)), 1.0, float("inf")))
     emit("incast_fan_in", text + "\n" + report_checks("incast", checks))
-    _record(results, legacy_r, bounded_r)
+    _record(results, legacy_r, bounded_r, cc_ref_r, cc_off_r, cc_on_r)
 
 
 @pytest.mark.benchmark(group="incast")

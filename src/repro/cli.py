@@ -143,21 +143,22 @@ def cmd_incast(args) -> int:
             system=args.system, dataplane=args.dataplane, senders=n,
             size=args.size, msgs_per_sender=args.msgs, window=args.window,
             seed=args.seed, rx_contention=args.rx_contention != "off",
-            buffer_bytes=args.rx_buffer_bytes,
+            buffer_bytes=args.rx_buffer_bytes, congestion=args.congestion,
         )
         r = run_incast(cfg)
         rows.append([
             str(n), f"{r.aggregate_gbit:.2f}", f"{r.per_flow_mean_gbit:.2f}",
             pretty_size(r.rx_queue_peak_bytes), str(r.messages_dropped),
-            str(r.retransmits),
+            str(r.retransmits), str(r.ecn_marked), str(r.cnps),
         ])
     print(format_table(
         ["senders", "aggregate Gbit/s", "per-flow Gbit/s", "peak rxq",
-         "drops", "retransmits"],
+         "drops", "retransmits", "ecn marks", "cnps"],
         rows,
         title=f"{args.dataplane} incast on system {args.system}, "
               f"{pretty_size(args.size)} x {args.msgs} msgs/sender "
-              f"(rx_contention {'off' if args.rx_contention == 'off' else 'on'})",
+              f"(rx_contention {'off' if args.rx_contention == 'off' else 'on'}"
+              f", congestion {args.congestion})",
     ))
     return 0
 
@@ -584,6 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_incast.add_argument("--rx-buffer-bytes", type=int, default=None,
                           help="bounded switch output-port buffer in bytes "
                                "(default unbounded)")
+    p_incast.add_argument("--congestion", choices=["off", "dcqcn"],
+                          default="off",
+                          help="end-to-end congestion control: ECN marking "
+                               "at the switch queue + DCQCN-style sender "
+                               "rate limiting (default off)")
     p_incast.set_defaults(func=cmd_incast)
 
     p_trace = sub.add_parser("trace", help="trace one message's life")

@@ -6,8 +6,30 @@ from typing import Optional, Union
 
 from repro.cluster.fabric import Fabric, RxContentionSpec
 from repro.cluster.host import Host
-from repro.hw.profiles import RxContentionProfile, SystemProfile
+from repro.errors import ConfigError
+from repro.hw.profiles import CcProfile, RxContentionProfile, SystemProfile
 from repro.sim.engine import Simulator
+
+#: What callers may pass as ``congestion``: "auto" (follow the system
+#: profile), "off"/None (disabled), "dcqcn" (profile's ``cc`` or DCQCN
+#: defaults), or an explicit :class:`CcProfile`.
+CongestionSpec = Union[str, None, CcProfile]
+
+
+def _normalize_congestion(
+    spec: CongestionSpec, system: SystemProfile
+) -> Optional[CcProfile]:
+    if spec == "auto":
+        return system.cc
+    if spec is None or spec == "off":
+        return None
+    if spec == "dcqcn":
+        return system.cc or CcProfile()
+    if isinstance(spec, CcProfile):
+        return spec
+    raise ConfigError(
+        f"congestion must be 'auto'/'off'/'dcqcn'/None/CcProfile, got {spec!r}"
+    )
 
 
 def build_cluster(
@@ -16,6 +38,7 @@ def build_cluster(
     num_hosts: int,
     chunk_bytes: Optional[int] = None,
     rx_contention: Union[str, RxContentionSpec] = "auto",
+    congestion: CongestionSpec = "auto",
 ) -> tuple[Fabric, list[Host]]:
     """Build ``num_hosts`` hosts on one fabric.
 
@@ -26,12 +49,21 @@ def build_cluster(
     to an unbounded-buffer :class:`RxContentionProfile`.  Pass
     ``True``/``False``/a profile to force it either way.  Two-host builds
     stay bit-identical to the committed goldens under ``"auto"``.
+
+    ``congestion`` selects end-to-end congestion control (ECN marking +
+    DCQCN-style rate limiting; see :mod:`repro.hw.congestion`): ``"auto"``
+    (default) follows ``system.cc`` — ``None`` on the shipped profiles, so
+    CC is strictly opt-in and all committed goldens stay bit-identical.
+    Pass ``"dcqcn"`` (profile's ``cc`` or the DCQCN defaults), ``"off"``,
+    or an explicit :class:`CcProfile`.  Requires the receiver-side
+    contention model (marking keys off switch queue occupancy).
     """
     if num_hosts < 1:
         raise ValueError(f"need at least one host, got {num_hosts}")
+    cc = _normalize_congestion(congestion, system)
     if rx_contention == "auto":
         rx: RxContentionSpec = None
-        if num_hosts > 2:
+        if num_hosts > 2 or cc is not None:
             rx = system.rx_contention or RxContentionProfile()
     else:
         rx = rx_contention  # type: ignore[assignment]
@@ -41,6 +73,7 @@ def build_cluster(
         propagation_ns=system.propagation_ns,
         chunk_bytes=chunk_bytes,
         rx_contention=rx,
+        cc=cc,
         name=f"fabric:{system.name}",
     )
     hosts = []

@@ -36,7 +36,7 @@ import math
 from typing import TYPE_CHECKING, Generator, Optional, Union
 
 from repro.errors import HardwareError
-from repro.hw.profiles import NicProfile, RxContentionProfile
+from repro.hw.profiles import CcProfile, NicProfile, RxContentionProfile
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,6 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: What callers may pass as ``rx_contention``: a profile, a bool toggle
 #: (``True`` = unbounded-buffer defaults), or ``None`` (off).
 RxContentionSpec = Union[None, bool, RxContentionProfile]
+
+#: Wire-message kinds eligible for ECN marking: RC requests whose marked
+#: arrival makes the responder NIC emit a CNP.  Responses/ACKs are left
+#: unmarked — a mark there would reach the wrong end of the control loop.
+_ECN_KINDS = frozenset({"send", "write", "read_req", "atomic"})
 
 
 def _normalize_rx_contention(spec: RxContentionSpec) -> Optional[RxContentionProfile]:
@@ -67,7 +72,8 @@ class SwitchPort:
     fabric runs with receiver-side contention."""
 
     __slots__ = ("host_id", "resource", "buffer_bytes", "queued_bytes",
-                 "peak_queued_bytes", "messages_dropped", "bytes_dropped")
+                 "peak_queued_bytes", "messages_dropped", "bytes_dropped",
+                 "messages_marked")
 
     def __init__(self, host_id: int, resource: Resource,
                  buffer_bytes: Optional[int]):
@@ -78,6 +84,8 @@ class SwitchPort:
         self.peak_queued_bytes = 0
         self.messages_dropped = 0
         self.bytes_dropped = 0
+        #: Messages ECN-marked at admission (congestion control only).
+        self.messages_marked = 0
 
 
 class Fabric:
@@ -91,6 +99,7 @@ class Fabric:
         loopback_latency_ns: float = 350.0,
         chunk_bytes: Optional[int] = None,
         rx_contention: RxContentionSpec = None,
+        cc: Optional[CcProfile] = None,
         name: str = "fabric",
     ):
         self.sim = sim
@@ -103,16 +112,38 @@ class Fabric:
         #: Receiver-side contention model (see module docstring); ``None``
         #: keeps the source-port-only semantics bit-identical to the seed.
         self.rx_contention = _normalize_rx_contention(rx_contention)
+        #: Congestion-control profile: enables WRED/ECN marking at the
+        #: switch output queues (and tells attached NICs to run the CNP /
+        #: rate-limiter loop).  Requires the receiver-side contention
+        #: model — marking keys off switch queue occupancy.
+        self.cc = cc
+        if cc is not None and self.rx_contention is None:
+            raise HardwareError(
+                "congestion control needs the receiver-side contention "
+                "model (pass rx_contention=... as well): ECN marking keys "
+                "off switch output-queue occupancy"
+            )
         self.name = name
         self._nics: dict[int, "Nic"] = {}
         self._tx_ports: dict[int, Resource] = {}
         self._rx_ports: dict[int, SwitchPort] = {}
+        #: Per-destination-port WRED marking streams, created on first
+        #: congested admission (dedicated streams: enabling CC never
+        #: perturbs any other component's draws).
+        self._ecn_rng: dict[int, object] = {}
         #: Delivered traffic only — messages lost on the wire or tail-dropped
         #: at a switch buffer land in the ``*_dropped`` counters instead.
         self.bytes_carried = 0
         self.messages_carried = 0
         self.messages_dropped = 0
         self.bytes_dropped = 0
+        #: Loss-site split of ``messages_dropped``: every lost message
+        #: lands in exactly one of these (their sum always equals the
+        #: total), so tests and postmortems can tell a fault-injected
+        #: hairpin loss from a wire loss from a switch-buffer tail drop.
+        self.drops_hairpin = 0
+        self.drops_wire = 0
+        self.drops_rxq = 0
         #: Optional fault layer (see :mod:`repro.faults`).  None keeps the
         #: fabric lossless at the cost of one branch per transmit.
         self.faults = None
@@ -182,6 +213,46 @@ class Fabric:
             for hid, port in sorted(self._rx_ports.items())
         )
 
+    # -- congestion marking ---------------------------------------------------
+
+    def _maybe_mark_ecn(self, port: SwitchPort, nbytes: int,
+                        payload: object) -> None:
+        """WRED/threshold ECN at switch-queue admission (CC enabled only).
+
+        Marking keys off the occupancy the message *finds* (not counting
+        itself): always at/above ``kmax_bytes``, linearly up to ``pmax``
+        between the thresholds (one draw from the port's dedicated ECN
+        stream), never below ``kmin_bytes``.  Only RC request kinds are
+        eligible — their responder answers with a CNP.
+        """
+        if getattr(payload, "kind", None) not in _ECN_KINDS:
+            return
+        cc = self.cc
+        q = port.queued_bytes
+        if q < cc.kmin_bytes:
+            return
+        if q < cc.kmax_bytes:
+            rng = self._ecn_rng.get(port.host_id)
+            if rng is None:
+                rng = self._ecn_rng[port.host_id] = self.sim.rng.stream(
+                    f"{self.name}.ecn{port.host_id}"
+                )
+            frac = (q - cc.kmin_bytes) / (cc.kmax_bytes - cc.kmin_bytes)
+            if rng.random() >= cc.pmax * frac:  # type: ignore[attr-defined]
+                return
+        payload.ecn = True  # type: ignore[attr-defined]
+        port.messages_marked += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(f"host{port.host_id}").counter("fabric.ecn.marked").inc(
+                nbytes, key=payload.kind  # type: ignore[attr-defined]
+            )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "fabric", "ecn_mark",
+                       host=port.host_id, kind=payload.kind,  # type: ignore[attr-defined]
+                       size=nbytes, queued=q)
+
     # -- timing ---------------------------------------------------------------
 
     def serialization_ns(self, nbytes: int) -> float:
@@ -223,6 +294,7 @@ class Fabric:
                 if verdict is None:
                     self.messages_dropped += 1
                     self.bytes_dropped += nbytes
+                    self.drops_hairpin += 1
                     return  # dropped in the hairpin: never delivered
                 extra = verdict
             self.bytes_carried += nbytes
@@ -273,6 +345,7 @@ class Fabric:
             if verdict is None:
                 self.messages_dropped += 1
                 self.bytes_dropped += nbytes
+                self.drops_wire += 1
                 return  # dropped on the wire: never delivered
             extra = verdict
         if self.rx_contention is not None:
@@ -304,6 +377,7 @@ class Fabric:
             port.bytes_dropped += nbytes
             self.messages_dropped += 1
             self.bytes_dropped += nbytes
+            self.drops_rxq += 1
             tele = self.sim.telemetry
             if tele.enabled:
                 reg = tele.scope(f"host{dst.host_id}")
@@ -316,6 +390,8 @@ class Fabric:
                            kind=getattr(payload, "kind", "raw"),
                            size=nbytes, queued=port.queued_bytes)
             return
+        if self.cc is not None:
+            self._maybe_mark_ecn(port, nbytes, payload)
         port.queued_bytes += nbytes
         if port.queued_bytes > port.peak_queued_bytes:
             port.peak_queued_bytes = port.queued_bytes

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.errors import HardwareError, MemoryAccessError, VerbsError
+from repro.hw.congestion import DcqcnLimiter
 from repro.hw.profiles import NicProfile
 from repro.sim.store import Store
 from repro.verbs.qp import QPState, QueuePair, Transport
@@ -69,6 +70,10 @@ class NicCounters:
         self.ack_timeouts = 0
         self.retransmits = 0
         self.retry_exc_errs = 0
+        #: Congestion-notification packets (CC enabled only; see
+        #: ``hw/congestion.py``): sent as responder, received as initiator.
+        self.cnps_sent = 0
+        self.cnps_received = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -98,7 +103,16 @@ class Nic:
         self._ex_atomic_name = f"{self.name}.ex.atomic"
         self._retry_name = f"{self.name}.retry"
         self._memwatch_name = f"{self.name}.memwatch"
+        self._cnp_name = f"{self.name}.cnp"
         self._fabric = None  # set by attach()
+        #: Congestion-control profile, taken from the fabric at attach();
+        #: None costs one branch on the TX and RX paths.
+        self.cc = None
+        #: Initiator-side DCQCN limiters, one per RC QP, created lazily.
+        self._limiters: dict[int, DcqcnLimiter] = {}
+        #: Responder-side CNP throttle: (initiator host, qpn) -> last CNP
+        #: emission time (at most one CNP per ``cnp_interval_ns`` each).
+        self._last_cnp_ns: dict[tuple[int, int], float] = {}
         self.mr_table: Optional["MrTable"] = None  # set by attach()
         #: Telemetry scope (matches Host.name).
         self._scope = f"host{host_id}"
@@ -145,10 +159,35 @@ class Nic:
         """Connect to the fabric and this host's MR table; start engines."""
         self._fabric = fabric
         self.mr_table = mr_table
+        cc = getattr(fabric, "cc", None)
+        if cc is not None and self.cc is None:
+            self.cc = cc
+            # Registered only when CC is on: a CC-off run's fast-forward
+            # signatures and time-shift hooks stay exactly as before.
+            self.sim.register_state_provider(self._cc_state)
+            self.sim.on_time_shift(self._cc_shift_time)
         if not self._started:
             self.sim.process(self._tx_engine(), name=f"{self.name}.tx")
             self.sim.process(self._rx_engine(), name=f"{self.name}.rx")
             self._started = True
+
+    def _cc_state(self) -> tuple:
+        """Congestion-control levels for fast-forward cycle signatures:
+        every limiter's rate machine plus the CNP throttle ages (reported
+        relative to now so the fingerprint can recur, clamped to the
+        throttle interval beyond which all ages act alike)."""
+        now = self.sim.now
+        interval = self.cc.cnp_interval_ns if self.cc is not None else 0.0
+        return (
+            tuple((qpn, lim.state())
+                  for qpn, lim in sorted(self._limiters.items())),
+            tuple((key, min(now - t, interval))
+                  for key, t in sorted(self._last_cnp_ns.items())),
+        )
+
+    def _cc_shift_time(self, shift: float) -> None:
+        for key in self._last_cnp_ns:
+            self._last_cnp_ns[key] += shift
 
     def deliver(self, msg: WireMessage) -> None:
         """Fabric drops an arriving message into the receive pipeline."""
@@ -254,10 +293,36 @@ class Nic:
         the same WQE-processing occupancy and pipeline fill as any other
         WQE, and is traced like one, so retried ops stay visible to
         telemetry span telescoping and the message-rate cap.
+
+        With congestion control on, WQE fetch is paced here by the QP's
+        DCQCN token bucket — in-engine, so pacing also holds back the
+        message-rate pipeline exactly as a rate-limited QP scheduler slot
+        would (one engine per NIC: a heavily cut QP delays its host's
+        other QPs too, the single-scheduler approximation).
         """
         while True:
             item = yield self._tx_store.get()
             qp, wr, psn, retries = item  # type: ignore[misc]
+            if self.cc is not None and qp.transport is Transport.RC:
+                # A retry already cancelled (ACK won the race, or the QP
+                # died) is about to be discarded by ``_initiate`` — it
+                # must not charge the token bucket: a late-ACK timeout
+                # storm would silently burn a full message of budget per
+                # cancelled retry, starving real traffic of exactly the
+                # capacity congestion control is trying to protect.
+                moot = retries and (qp.state is not QPState.RTS
+                                    or qp.outstanding.get(psn) is not wr)
+                if not moot:
+                    delay = self._limiter(qp).pace(
+                        self.sim.now, wr.length + HEADER_BYTES
+                    )
+                    if delay > 0.0:
+                        trace = self.sim.trace
+                        if trace.enabled and wr.span is not None:
+                            trace.emit(self.sim.now, "span", "mark",
+                                       span=wr.span, stage="cc_pace",
+                                       host=self.host_id, comp="nic.tx")
+                        yield delay
             yield self.profile.wqe_process_ns
             # Pipeline the rest so the engine can schedule the next WQE
             # while this message is still fetching payload / on the wire.
@@ -268,6 +333,11 @@ class Nic:
         self, qp: QueuePair, wr: SendWR, psn: int, retries: int = 0
     ) -> Generator["Event", object, None]:
         """Move one message from local memory onto the wire."""
+        if retries:
+            # This PSN's queued retry is now being serviced (whether or
+            # not it still transmits): a later timeout/NAK may queue a new
+            # one.  Must happen before any early return below.
+            qp.retx_pending.discard(psn)
         if qp.state is not QPState.RTS:
             if retries:
                 return  # flushed while the retry sat in the TX queue
@@ -290,6 +360,24 @@ class Nic:
             return
         if retries and qp.outstanding.get(psn) is not wr:
             return  # acked while the retry sat in the TX queue
+        if retries:
+            # Counted here — at actual (re)transmission — not at queue
+            # time: a retry cancelled by an ACK that raced it through the
+            # TX queue never hits the wire and must not inflate the
+            # counter (``retransmits`` matches real duplicate traffic).
+            if self.cc is not None:
+                # A surviving retransmission means real loss — the one
+                # congestion signal ECN cannot deliver (a dropped message
+                # never reaches the marking queue's far end).  Cut here,
+                # past the ACK-race cancellation above: a timeout whose
+                # ACK was merely late must not floor the rate.
+                self._limiter(qp).on_timeout(self.sim.now)
+            self.counters.retransmits += 1
+            tele = self.sim.telemetry
+            if tele.enabled:
+                tele.scope(self._scope).counter("nic.rc.retransmits").inc(
+                    key=wr.opcode.value
+                )
         trace = self.sim.trace
         if trace.enabled and wr.span is not None:
             trace.emit(self.sim.now, "span", "mark", span=wr.span,
@@ -389,7 +477,7 @@ class Nic:
             msg = yield self._rx_store.get()
             assert isinstance(msg, WireMessage)
             occupancy = self.profile.rx_process_ns
-            if msg.kind in ("ack", "nak_rnr"):
+            if msg.kind in ("ack", "nak_rnr", "cnp"):
                 occupancy *= ACK_RX_FRACTION
             yield occupancy
             self.sim.spawn(self._dispatch(msg), name=self._rx_msg_name)
@@ -399,6 +487,9 @@ class Nic:
             # Socket path: hand off to the kernel's IPoIB device.
             if self.ip_handler is not None:
                 self.ip_handler(msg)
+            return
+        if msg.kind == "cnp":
+            self._handle_cnp(msg)
             return
         if msg.kind in ("ack", "nak_rnr"):
             yield from self._handle_response(msg)
@@ -413,6 +504,13 @@ class Nic:
             # hit this; tests assert the counter).
             self.counters.remote_access_errors += 1
             return
+
+        if msg.ecn and self.cc is not None and msg.transport == "RC":
+            # ECN-marked request: notify the initiator (responder half of
+            # the DCQCN loop).  Evaluated before PSN ordering on purpose —
+            # a reordered or duplicate arrival still crossed the congested
+            # queue and still carries a valid congestion signal.
+            self._note_ecn(msg)
 
         if msg.transport == "RC":
             yield from self._rx_rc(qp, msg)
@@ -788,16 +886,22 @@ class Nic:
         """Start the ACK-timeout clock for one in-flight PSN.
 
         Called after the last bit of an RC request leaves the source port,
-        and only when a fault layer is attached to the fabric (the wire is
-        lossless otherwise).  Exponential back-off: each retransmission
-        doubles the timeout.
+        and only when the fabric can drop (fault layer or bounded switch
+        buffer — it is lossless otherwise).  Exponential back-off: each
+        retransmission doubles the timeout, in integer nanoseconds (no
+        float-power drift on simulated time), clamped to the profile's
+        ``max_ack_timeout_ns`` — unclamped, retry 7 waited ``128x`` the
+        base timeout, turning one congested PSN into ~12.8 ms of silence.
         """
         if qp.outstanding.get(psn) is None:
             return  # already answered (e.g. loopback raced the transmit)
         qp._retx_seq += 1
         epoch = qp._retx_seq
         qp.retx_epoch[psn] = epoch
-        delay = self.profile.ack_timeout_ns * (2.0 ** retries)
+        delay = int(self.profile.ack_timeout_ns) << retries
+        cap = int(self.profile.max_ack_timeout_ns)
+        if delay > cap:
+            delay = cap
         self.sim.call_later(delay, self._ack_timer_fired, (qp, psn, epoch))
 
     def _ack_timer_fired(self, token: tuple) -> None:
@@ -838,7 +942,18 @@ class Nic:
         Retries share the WQE-scheduling engine with first transmissions,
         so they pay processing occupancy and pipeline fill and show up in
         the TX trace/telemetry like any other message.
+
+        At most one retry per PSN sits in the TX store at a time
+        (``qp.retx_pending``): an RNR NAK racing an ACK timeout used to
+        queue *two* retransmissions for the same PSN — both passed
+        ``_initiate``'s liveness check and both hit the wire, amplifying
+        exactly the congestion that caused the loss.  The counter moves
+        to ``_initiate`` for the same reason: it must reflect messages
+        actually retransmitted, not retry intents later cancelled.
         """
+        if psn in qp.retx_pending:
+            return  # a retry for this PSN is already queued
+        qp.retx_pending.add(psn)
         qp._retx_seq += 1
         qp.retx_epoch[psn] = qp._retx_seq  # invalidate any armed timer
         mon = self.sim._monitor
@@ -846,12 +961,6 @@ class Nic:
             # Checked here rather than at the call sites so any retry path
             # (ACK timeout, RNR NAK, or a future one) is bounded (PROTO105).
             mon.on_retransmit(qp, psn, retries)
-        self.counters.retransmits += 1
-        tele = self.sim.telemetry
-        if tele.enabled:
-            tele.scope(self._scope).counter("nic.rc.retransmits").inc(
-                key=wr.opcode.value
-            )
         trace = self.sim.trace
         if trace.enabled:
             trace.emit(self.sim.now, "nic", "retransmit",
@@ -904,6 +1013,89 @@ class Nic:
         yield from self._fabric.transmit(self.host_id, request.src_host, ack.wire_bytes, ack)
         if kind == "ack":
             self.counters.acks_sent += 1
+
+    # -- congestion control (CNP generation + DCQCN rate limiting) ---------------
+
+    def _limiter(self, qp: QueuePair) -> DcqcnLimiter:
+        """The QP's DCQCN limiter, created on first use (CC on only)."""
+        lim = self._limiters.get(qp.qpn)
+        if lim is None:
+            lim = DcqcnLimiter(
+                self.sim, self.cc, self.profile.link_bw, self._rate_changed
+            )
+            self._limiters[qp.qpn] = lim
+        return lim
+
+    def _rate_changed(self, rate: float) -> None:
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).gauge("nic.cc.rate").set(rate)
+
+    def _note_ecn(self, msg: WireMessage) -> None:
+        """Responder half of the loop: an ECN-marked RC request arrived.
+
+        Emits a CNP back to the initiator through the normal TX path,
+        throttled to one per ``cnp_interval_ns`` per (initiator host, QP)
+        so a marked burst costs one notification, not a CNP storm.
+        """
+        key = (msg.src_host, msg.src_qpn)
+        now = self.sim.now
+        last = self._last_cnp_ns.get(key)
+        if last is not None and now - last < self.cc.cnp_interval_ns:
+            return
+        self._last_cnp_ns[key] = now
+        self.counters.cnps_sent += 1
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("nic.cc.cnps").inc(key="sent")
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "cnp_send",
+                       host=self.host_id, dst_host=msg.src_host,
+                       qpn=msg.src_qpn, psn=msg.psn)
+        self.sim.spawn(self._send_cnp(msg), name=self._cnp_name)
+
+    def _send_cnp(self, request: WireMessage) -> Generator["Event", object, None]:
+        """Build and transmit one CNP (same turnaround cost as an ACK).
+
+        CNPs are unacknowledged and never retransmitted — losing one only
+        delays the next rate cut by a CNP interval, as on real fabrics.
+        """
+        yield self.profile.ack_ns
+        cnp = WireMessage(
+            kind="cnp",
+            src_host=self.host_id,
+            dst_host=request.src_host,
+            src_qpn=request.dst_qpn,
+            dst_qpn=request.src_qpn,
+            transport=request.transport,
+            psn=request.psn,
+            token=request.token,
+            header_bytes=HEADER_BYTES,
+        )
+        assert self._fabric is not None
+        yield from self._fabric.transmit(
+            self.host_id, request.src_host, cnp.wire_bytes, cnp
+        )
+
+    def _handle_cnp(self, msg: WireMessage) -> None:
+        """Initiator half of the loop: cut the marked QP's rate."""
+        if self.cc is None:
+            return
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            return
+        self.counters.cnps_received += 1
+        lim = self._limiter(qp)
+        lim.on_cnp(self.sim.now)
+        tele = self.sim.telemetry
+        if tele.enabled:
+            tele.scope(self._scope).counter("nic.cc.cnps").inc(key="received")
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "nic", "cnp_recv",
+                       host=self.host_id, qpn=qp.qpn, psn=msg.psn,
+                       rate=lim.rate)
 
     # -- completion + memory watch helpers ---------------------------------------
 

@@ -104,10 +104,17 @@ class NicProfile:
     #: ACK turnaround at the responder NIC (RC reliability).
     ack_ns: float
     #: Base RC ACK-timeout: an un-acked PSN retransmits after
-    #: ``ack_timeout_ns * 2**retries`` (exponential back-off).  Timers are
-    #: armed only when a fault layer is attached — the fabric is lossless
-    #: otherwise — so this never perturbs fault-free runs.
+    #: ``ack_timeout_ns << retries`` (exponential back-off, computed in
+    #: integer nanoseconds and clamped to ``max_ack_timeout_ns``).  Timers
+    #: are armed only when a fault layer is attached or a bounded switch
+    #: buffer can drop — the fabric is lossless otherwise — so this never
+    #: perturbs fault-free runs.
     ack_timeout_ns: float = 100_000.0
+    #: Ceiling on the backed-off ACK timeout.  Without a clamp retry 7
+    #: waits ``128x`` the base timeout (~12.8 ms of dead air per PSN),
+    #: which turns a transient congestion drop into a goodput cliff; real
+    #: HCAs bound the timeout field to a few binades.  16x base here.
+    max_ack_timeout_ns: float = 1_600_000.0
     #: Send queue depth per QP.
     sq_depth: int = 128
     #: Receive queue depth per QP.
@@ -133,6 +140,93 @@ class RxContentionProfile:
 
     #: Per switch-output-port buffer in bytes; ``None`` = unbounded.
     buffer_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CcProfile:
+    """End-to-end congestion control (opt-in; DCQCN-style, Zhu et al.
+    SIGCOMM'15).
+
+    Three cooperating pieces, all driven by simulated time and named
+    seeded RNG streams only:
+
+    - **ECN marking** at the switch output queue (``cluster/fabric.py``):
+      a request admitted while ``queued_bytes`` is at or above
+      ``kmax_bytes`` is always marked; between ``kmin_bytes`` and
+      ``kmax_bytes`` it is marked with probability rising linearly to
+      ``pmax`` (WRED), drawn from the fabric's per-port ECN stream.
+    - **CNP generation** at the responder NIC (``hw/nic.py``): an
+      ECN-marked RC request triggers a congestion-notification packet
+      back to the initiator through the normal TX path, throttled to at
+      most one CNP per ``cnp_interval_ns`` per (initiator host, QP).
+    - **Rate limiting** at the initiator NIC (``hw/congestion.py``): a
+      per-QP DCQCN limiter cuts its rate multiplicatively on each CNP
+      (``rate *= 1 - alpha/2``), tracks the congestion estimate ``alpha``
+      with gain ``g``, and recovers through fast-recovery / additive /
+      hyper increase stages on a ``rate_increase_ns`` timer.  WQE fetch
+      is paced by a token bucket refilled at the current rate.  An ACK
+      timeout is treated as the strongest congestion signal (a dropped
+      message can never carry an ECN mark back): the rate drops to the
+      floor, RTO-style, so retransmit waves cannot re-overflow the queue
+      that dropped them.
+
+    Entirely opt-in: ``SystemProfile.cc`` is ``None`` on the shipped
+    profiles and the NIC/fabric hooks cost one branch when disabled, so
+    every committed golden stays bit-identical.
+
+    Defaults are tuned for the 16-into-1 incast on System L (100 Gbit/s
+    links, 1 MiB switch buffer ≈ sixteen 64 KiB messages): feedback
+    granularity is one *message*, not one MTU packet, and the queue-drain
+    delay (~83 µs full) dominates the control loop, so recovery is set
+    slower and the floor higher than NIC-firmware DCQCN defaults.
+    """
+
+    #: WRED low threshold: below this queue depth nothing is marked.
+    kmin_bytes: int = 64 * 1024
+    #: WRED high threshold: at or above this everything is marked.
+    kmax_bytes: int = 320 * 1024
+    #: Marking probability as the queue reaches ``kmax_bytes``.
+    pmax: float = 0.5
+    #: Min spacing between CNPs per (initiator host, QP) at the responder.
+    cnp_interval_ns: float = 4_000.0
+    #: Min spacing between successive rate cuts on one limiter (DCQCN's
+    #: rate-reduce period): a burst of near-simultaneous CNPs/timeouts
+    #: counts as one congestion event.
+    cut_interval_ns: float = 50_000.0
+    #: EWMA gain for the congestion estimate ``alpha`` (DCQCN's ``g``).
+    g: float = 1.0 / 16.0
+    #: Period of the alpha-decay timer (runs while alpha is elevated).
+    alpha_update_ns: float = 20_000.0
+    #: Period of the rate-increase timer (runs while rate < line rate).
+    rate_increase_ns: float = 100_000.0
+    #: Rate-increase rounds spent in fast recovery (halving toward the
+    #: pre-cut target) before additive increase begins.
+    fast_recovery_rounds: int = 2
+    #: Additive increase step applied to the target rate (bytes/ns);
+    #: 0.15625 B/ns == 1.25 Gbit/s per round.
+    rai_bytes_per_ns: float = 0.15625
+    #: Hyper increase step after ``hyper_after_rounds`` additive rounds.
+    #: Mostly governs how fast an *uncongested* flow climbs from the
+    #: conservative start to line rate — under sustained congestion the
+    #: cuts keep resetting the round count below the hyper threshold.
+    hai_bytes_per_ns: float = 1.5625
+    #: Additive rounds before the increase goes hyper.
+    hyper_after_rounds: int = 4
+    #: Rate floor as a fraction of line rate (never pace below this).
+    #: 0.05 keeps a fully collapsed 16-sender incast at ~80 % link
+    #: utilization without overflowing the receiver queue.
+    min_rate_fraction: float = 0.05
+    #: Starting rate as a fraction of line rate (the RP initial-rate knob
+    #: real DCQCN firmware exposes).  Feedback here is one CNP per
+    #: *delivered 64 KiB message*, so a line-rate start lets N senders
+    #: blast N×window messages into the switch buffer before the first
+    #: notification can possibly arrive — the first-RTT drop burst is
+    #: decided before the control loop exists.  A conservative start
+    #: closes the loop before the buffer fills; the increase timer runs
+    #: from creation, so an uncongested flow still climbs to line rate.
+    initial_rate_fraction: float = 0.125
+    #: Token-bucket burst allowance (bytes); one MTU keeps pacing tight.
+    burst_bytes: int = 4096
 
 
 @dataclass(frozen=True)
@@ -163,6 +257,11 @@ class SystemProfile:
     #: with >2 hosts enable an unbounded-buffer model by default (see
     #: ``repro.cluster.builder.build_cluster``).
     rx_contention: Optional[RxContentionProfile] = None
+    #: End-to-end congestion control (ECN + DCQCN-style rate limiting).
+    #: ``None`` on the shipped profiles: the loop is strictly opt-in via
+    #: ``build_cluster(..., congestion=...)`` / the ``--congestion`` CLI
+    #: flag, so committed goldens and records stay bit-identical.
+    cc: Optional[CcProfile] = None
 
     def syscall_cost(self) -> float:
         """Mean syscall round-trip including KPTI if enabled."""

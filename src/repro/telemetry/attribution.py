@@ -50,7 +50,10 @@ SERIAL_STAGES = frozenset({"doorbell", "rx_arrive", "tx_wire", "rx_port"})
 #: Stages that are pure waiting: the CQE is in host memory, the op is done
 #: at the device, and the clock runs until the application reaps it.  The
 #: whole interval is queueing (behind the app's poll loop / other CQEs).
-WAIT_STAGES = frozenset({"cqe"})
+#: ``cc_pace`` is the DCQCN token-bucket pacing delay before WQE fetch
+#: (emitted only when congestion control is on and the op was actually
+#: held back): self-imposed waiting, not service.
+WAIT_STAGES = frozenset({"cqe", "cc_pace"})
 
 
 def base_stage(name: str) -> str:

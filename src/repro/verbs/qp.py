@@ -112,6 +112,10 @@ class QueuePair:
         #: Monotone epoch allocator; never reset so PSN reuse after a QP
         #: RESET cannot revive a stale timer.
         self._retx_seq = 0
+        #: PSNs with a retransmission queued in the NIC TX store but not
+        #: yet fetched — at most one queued retry per PSN (the NIC dedups
+        #: against this; membership tests only, never iterated).
+        self.retx_pending: set[int] = set()
         #: Responder-side replay cache for atomics: psn -> original value.
         #: A retransmitted atomic whose execution already happened replays
         #: the cached response instead of re-executing (exactly-once).
@@ -194,6 +198,7 @@ class QueuePair:
         self.reorder.clear()
         self.retx_retries.clear()
         self.retx_epoch.clear()
+        self.retx_pending.clear()
         self.sq_outstanding = 0
 
     def _flush(self) -> None:
@@ -202,6 +207,7 @@ class QueuePair:
         self.reorder.clear()
         self.retx_retries.clear()
         self.retx_epoch.clear()
+        self.retx_pending.clear()
         self.atomic_cache.clear()
         self.sq_outstanding = 0
         self.sq_psn = 0

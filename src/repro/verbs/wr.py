@@ -228,7 +228,7 @@ class CQE:
 class WireMessage:
     """One message on the fabric (a transport-level unit, not one packet)."""
 
-    kind: str  # "send" | "write" | "read_req" | "read_resp" | "ack" | "nak_rnr"
+    kind: str  # "send" | "write" | "read_req" | "read_resp" | "ack" | "nak_rnr" | "cnp"
     src_host: int
     dst_host: int
     src_qpn: int
@@ -250,6 +250,9 @@ class WireMessage:
     retries: int = 0
     #: Telemetry op-span id carried across the wire (None when off).
     span: Optional[int] = None
+    #: ECN congestion-experienced mark, set by the switch output queue
+    #: when congestion control is enabled (see ``hw/profiles.CcProfile``).
+    ecn: bool = False
 
     @property
     def wire_bytes(self) -> int:

@@ -16,7 +16,12 @@ by ``REPRO_INCAST_JSON``):
 - the legacy rx-off control *exceeds* one link's bandwidth (the modeling
   bug stays demonstrably fixed, not silently re-hidden);
 - the bounded-buffer control drops, and every drop is matched by at
-  least one retransmit (RC recovery engaged).
+  least one retransmit (RC recovery engaged);
+- DCQCN recovers the bounded 16→1 incast: ≥80% of the unbounded
+  reference aggregate and ≥10× fewer tail drops than CC-off at full
+  scale (relaxed to 75% / 8× on smoke-scale records, whose short flows
+  end while the conservative start is still ramping), with every
+  message delivered and the ECN/CNP loop demonstrably engaged.
 
 Exits 1 with a per-violation report when any invariant fails.
 """
@@ -36,6 +41,11 @@ DEFAULT_PATH = Path("results") / "BENCH_incast.json"
 AGG_TOL = 1.02
 #: Per-flow monotonicity slack for scheduling noise between runs.
 MONO_TOL = 0.99
+#: Congestion-control acceptance floors: (goodput recovery fraction of
+#: the unbounded reference, tail-drop reduction factor vs CC-off), at
+#: full benchmark scale and relaxed for smoke-scale records.
+CC_FLOORS_FULL = (0.8, 10.0)
+CC_FLOORS_SMOKE = (0.75, 8.0)
 
 
 def check(doc: dict) -> list[str]:
@@ -77,6 +87,36 @@ def check(doc: dict) -> list[str]:
         problems.append(
             f"bounded-buffer control dropped {bounded['messages_dropped']} "
             f"but only retransmitted {bounded['retransmits']}")
+
+    cc = doc["congestion"]
+    ref, off, on = cc["reference"], cc["cc_off"], cc["dcqcn"]
+    rec_floor, red_floor = (CC_FLOORS_FULL if float(doc.get("scale", 1)) >= 1.0
+                            else CC_FLOORS_SMOKE)
+    recovery = on["aggregate_gbit"] / ref["aggregate_gbit"]
+    if recovery < rec_floor:
+        problems.append(
+            f"DCQCN recovered only {recovery:.0%} of the unbounded "
+            f"reference ({on['aggregate_gbit']:.1f} of "
+            f"{ref['aggregate_gbit']:.1f} Gbit/s); floor is "
+            f"{rec_floor:.0%}")
+    if off["messages_dropped"] < 1:
+        problems.append("CC-off control recorded zero drops (no collapse "
+                        "to recover from)")
+    else:
+        reduction = off["messages_dropped"] / max(on["messages_dropped"], 1)
+        if reduction < red_floor:
+            problems.append(
+                f"DCQCN cut drops only {reduction:.1f}x "
+                f"({off['messages_dropped']} -> {on['messages_dropped']}); "
+                f"floor is {red_floor:.0f}x")
+    if on["failed_msgs"]:
+        problems.append(
+            f"DCQCN run failed {on['failed_msgs']} message(s) "
+            "(RETRY_EXC_ERR under CC should not happen)")
+    if not (on["ecn_marked"] and on["cnps"]):
+        problems.append(
+            f"DCQCN loop inert: {on['ecn_marked']} ECN marks, "
+            f"{on['cnps']} CNPs")
     return problems
 
 
@@ -88,7 +128,9 @@ def main(argv=None) -> int:
 
     doc = json.loads(args.path.read_text())
     problems = check(doc)
-    n_points = sum(len(v) for v in doc["sweep"].values()) + 2
+    # Control points: legacy rx-off, bounded buffer, CC-off, DCQCN (the
+    # congestion reference is the bypass N=16 sweep point, not a rerun).
+    n_points = sum(len(v) for v in doc["sweep"].values()) + 4
     if problems:
         print(f"check_incast: {len(problems)} violation(s) in {args.path}:")
         for p in problems:
